@@ -1,0 +1,77 @@
+// Micro benchmarks for the shared PLI substrate (google-benchmark): build,
+// intersect, refinement check — the operations §6.4 identifies as the
+// dominant cost of every profiling algorithm in this library.
+
+#include <benchmark/benchmark.h>
+
+#include "data/relation.h"
+#include "pli/position_list_index.h"
+#include "workload/generators.h"
+
+namespace muds {
+namespace {
+
+Relation MakeColumns(int64_t rows, int64_t cardinality_a,
+                     int64_t cardinality_b) {
+  return MakeCategorical(rows, {cardinality_a, cardinality_b}, /*seed=*/7,
+                         "bench");
+}
+
+void BM_PliBuild(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  const int64_t cardinality = state.range(1);
+  Relation r = MakeColumns(rows, cardinality, 2);
+  for (auto _ : state) {
+    Pli pli = Pli::FromColumn(r.GetColumn(0), r.NumRows());
+    benchmark::DoNotOptimize(pli.NumClusters());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_PliBuild)
+    ->Args({10000, 10})
+    ->Args({10000, 1000})
+    ->Args({100000, 10})
+    ->Args({100000, 10000});
+
+void BM_PliIntersect(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  const int64_t cardinality = state.range(1);
+  Relation r = MakeColumns(rows, cardinality, cardinality);
+  Pli a = Pli::FromColumn(r.GetColumn(0), r.NumRows());
+  Pli b = Pli::FromColumn(r.GetColumn(1), r.NumRows());
+  for (auto _ : state) {
+    Pli ab = a.Intersect(b);
+    benchmark::DoNotOptimize(ab.NumClusters());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_PliIntersect)
+    ->Args({10000, 10})
+    ->Args({10000, 100})
+    ->Args({100000, 10})
+    ->Args({100000, 300});
+
+void BM_PliRefines(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  Relation r = MakeColumns(rows, 50, 7);
+  Pli a = Pli::FromColumn(r.GetColumn(0), r.NumRows());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Refines(r.GetColumn(1)));
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_PliRefines)->Arg(10000)->Arg(100000);
+
+void BM_PliDistinctCount(benchmark::State& state) {
+  Relation r = MakeColumns(100000, 500, 2);
+  Pli a = Pli::FromColumn(r.GetColumn(0), r.NumRows());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.DistinctCount());
+  }
+}
+BENCHMARK(BM_PliDistinctCount);
+
+}  // namespace
+}  // namespace muds
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Micro benchmarks for the set-algebra substrate (google-benchmark): the
+// §5.4 prefix tree against the naive scan it replaces, plus ColumnSet
+// algebra and minimal hitting sets.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "setops/column_set.h"
+#include "setops/hitting_set.h"
+#include "setops/set_trie.h"
+
+namespace muds {
+namespace {
+
+std::vector<ColumnSet> RandomSets(int count, int universe, int max_size,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ColumnSet> sets;
+  sets.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    ColumnSet s;
+    const int size =
+        1 + static_cast<int>(rng.NextBelow(static_cast<uint64_t>(max_size)));
+    for (int j = 0; j < size; ++j) {
+      s.Add(static_cast<int>(rng.NextBelow(
+          static_cast<uint64_t>(universe))));
+    }
+    sets.push_back(s);
+  }
+  return sets;
+}
+
+// §5.4: subset look-up through the prefix tree.
+void BM_SetTrieSubsetLookup(benchmark::State& state) {
+  const int num_uccs = static_cast<int>(state.range(0));
+  const auto uccs = RandomSets(num_uccs, 30, 5, 1);
+  const auto queries = RandomSets(256, 30, 12, 2);
+  SetTrie trie;
+  for (const ColumnSet& u : uccs) trie.Insert(u);
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.ContainsSubsetOf(queries[q & 255]));
+    ++q;
+  }
+}
+BENCHMARK(BM_SetTrieSubsetLookup)->Arg(100)->Arg(1000)->Arg(10000);
+
+// The naive implementation the paper compares against (§5.4): iterate the
+// UCC list and subset-check each.
+void BM_NaiveSubsetLookup(benchmark::State& state) {
+  const int num_uccs = static_cast<int>(state.range(0));
+  const auto uccs = RandomSets(num_uccs, 30, 5, 1);
+  const auto queries = RandomSets(256, 30, 12, 2);
+  size_t q = 0;
+  for (auto _ : state) {
+    bool found = false;
+    for (const ColumnSet& u : uccs) {
+      if (u.IsSubsetOf(queries[q & 255])) {
+        found = true;
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(found);
+    ++q;
+  }
+}
+BENCHMARK(BM_NaiveSubsetLookup)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_SetTrieSupersetCollect(benchmark::State& state) {
+  const auto uccs = RandomSets(static_cast<int>(state.range(0)), 30, 5, 1);
+  const auto queries = RandomSets(256, 30, 2, 2);
+  SetTrie trie;
+  for (const ColumnSet& u : uccs) trie.Insert(u);
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.CollectSupersetsOf(queries[q & 255]));
+    ++q;
+  }
+}
+BENCHMARK(BM_SetTrieSupersetCollect)->Arg(1000)->Arg(10000);
+
+void BM_ColumnSetAlgebra(benchmark::State& state) {
+  const auto sets = RandomSets(256, 200, 40, 3);
+  size_t i = 0;
+  for (auto _ : state) {
+    const ColumnSet& a = sets[i & 255];
+    const ColumnSet& b = sets[(i + 7) & 255];
+    benchmark::DoNotOptimize(a.Union(b).Intersect(b.Difference(a)).Count());
+    ++i;
+  }
+}
+BENCHMARK(BM_ColumnSetAlgebra);
+
+void BM_MinimalHittingSets(benchmark::State& state) {
+  const auto family =
+      RandomSets(static_cast<int>(state.range(0)), 16, 4, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinimalHittingSets(family, 16));
+  }
+}
+BENCHMARK(BM_MinimalHittingSets)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace muds
+
+BENCHMARK_MAIN();

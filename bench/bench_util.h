@@ -1,0 +1,67 @@
+#ifndef MUDS_BENCH_BENCH_UTIL_H_
+#define MUDS_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/profiler.h"
+#include "data/csv.h"
+#include "data/relation.h"
+
+namespace muds {
+namespace bench {
+
+/// Common command-line arguments for the bench binaries.
+///
+///   --full         paper-scale parameters (default: scaled down so the
+///                  whole bench suite finishes in minutes)
+///   --seed=N       generator / traversal seed
+struct BenchArgs {
+  bool full = false;
+  uint64_t seed = 1;
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      args.full = true;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      args.seed = static_cast<uint64_t>(std::strtoull(argv[i] + 7, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+    }
+  }
+  return args;
+}
+
+/// Runs one profiling algorithm end to end — including the (re-)parsing of
+/// the CSV text, which is where the baseline pays its unshared I/O — and
+/// returns the result.
+inline ProfilingResult RunAlgorithm(const std::string& csv_text,
+                                    Algorithm algorithm, uint64_t seed) {
+  ProfileOptions options;
+  options.algorithm = algorithm;
+  options.seed = seed;
+  Result<ProfilingResult> result = ProfileCsvString(csv_text, options);
+  return std::move(result).value();
+}
+
+/// Serializes a generated relation once; all algorithms profile the same
+/// text.
+inline std::string ToCsv(const Relation& relation) {
+  return CsvWriter::ToString(relation);
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace bench
+}  // namespace muds
+
+#endif  // MUDS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,67 @@
+// Quickstart: profile a small CSV document and print every discovered
+// dependency.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart [file.csv]
+//
+// Without an argument, a small in-memory example relation is profiled.
+
+#include <cstdio>
+#include <string>
+
+#include "core/profiler.h"
+
+namespace {
+
+constexpr char kExampleCsv[] =
+    "employee_id,name,department,dept_floor,city,zip\n"
+    "1,alice,engineering,3,berlin,10115\n"
+    "2,bob,engineering,3,berlin,10115\n"
+    "3,carol,sales,1,potsdam,14467\n"
+    "4,dave,sales,1,berlin,10117\n"
+    "5,erin,marketing,2,potsdam,14467\n"
+    "6,frank,marketing,2,berlin,10115\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  muds::ProfileOptions options;
+  options.algorithm = muds::Algorithm::kMuds;
+
+  muds::Result<muds::ProfilingResult> result =
+      argc > 1 ? muds::ProfileCsvFile(argv[1], options)
+               : muds::ProfileCsvString(kExampleCsv, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "profiling failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const muds::ProfilingResult& profile = result.value();
+  const auto& names = profile.column_names;
+
+  std::printf("== unary inclusion dependencies (%zu)\n",
+              profile.inds.size());
+  for (const muds::Ind& ind : profile.inds) {
+    std::printf("  %s\n", muds::ToString(ind, names).c_str());
+  }
+
+  std::printf("== minimal unique column combinations (%zu)\n",
+              profile.uccs.size());
+  for (const muds::ColumnSet& ucc : profile.uccs) {
+    std::printf("  %s\n", ucc.ToString(names).c_str());
+  }
+
+  std::printf("== minimal functional dependencies (%zu)\n",
+              profile.fds.size());
+  for (const muds::Fd& fd : profile.fds) {
+    std::printf("  %s\n", muds::ToString(fd, names).c_str());
+  }
+
+  std::printf("== phases\n");
+  for (const auto& [phase, micros] : profile.timings.entries()) {
+    std::printf("  %-24s %8.3f ms\n", phase.c_str(),
+                static_cast<double>(micros) / 1e3);
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+#ifndef MUDS_COMMON_CHECK_H_
+#define MUDS_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal invariant checks. The library is exception-free; a failed check
+// means a programming error inside the library, never a data error, so we
+// abort with a source location. Data errors are reported through Status.
+
+#define MUDS_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "MUDS_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define MUDS_CHECK_MSG(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "MUDS_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, (msg));                     \
+      std::abort();                                                      \
+    }                                                                     \
+  } while (0)
+
+#ifndef NDEBUG
+#define MUDS_DCHECK(cond) MUDS_CHECK(cond)
+#else
+#define MUDS_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#endif
+
+#endif  // MUDS_COMMON_CHECK_H_

@@ -1,0 +1,77 @@
+#ifndef MUDS_COMMON_RNG_H_
+#define MUDS_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace muds {
+
+/// Deterministic pseudo-random number generator (xoshiro256**). Used by the
+/// random-walk lattice traversals and the synthetic dataset generators; a
+/// fixed seed makes every run, test, and benchmark reproducible.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed always yields the same sequence.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 expansion of the seed into the four state words.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). Requires bound > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    MUDS_DCHECK(bound > 0);
+    // Debiased modulo (rejection sampling on the tail).
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    MUDS_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace muds
+
+#endif  // MUDS_COMMON_RNG_H_

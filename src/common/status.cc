@@ -1,0 +1,31 @@
+#include "common/status.h"
+
+namespace muds {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace muds

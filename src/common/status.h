@@ -1,0 +1,99 @@
+#ifndef MUDS_COMMON_STATUS_H_
+#define MUDS_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace muds {
+
+/// Error category for failed operations.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kParseError,
+  kOutOfRange,
+};
+
+/// Returns a human-readable name for a StatusCode (e.g. "IoError").
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. The library does not throw; any
+/// operation whose failure depends on external input (file I/O, parsing,
+/// user-supplied parameters) reports failure through Status or Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. Accessing the value of
+/// a failed Result is a fatal error (MUDS_CHECK).
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value: allows `return value;`.
+  Result(T value) : value_(std::move(value)) {}
+  /// Implicit conversion from an error status: allows `return status;`.
+  Result(Status status) : status_(std::move(status)) {
+    MUDS_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    MUDS_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T& value() & {
+    MUDS_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    MUDS_CHECK_MSG(ok(), status_.message().c_str());
+    return *std::move(value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace muds
+
+#endif  // MUDS_COMMON_STATUS_H_

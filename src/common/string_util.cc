@@ -1,0 +1,57 @@
+#include "common/string_util.h"
+
+#include <cstdio>
+
+namespace muds {
+
+std::vector<std::string> SplitString(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      parts.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && (text[begin] == ' ' || text[begin] == '\t' ||
+                         text[begin] == '\r' || text[begin] == '\n')) {
+    ++begin;
+  }
+  while (end > begin && (text[end - 1] == ' ' || text[end - 1] == '\t' ||
+                         text[end - 1] == '\r' || text[end - 1] == '\n')) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string FormatMicros(int64_t micros) {
+  char buf[64];
+  if (micros < 1000) {
+    std::snprintf(buf, sizeof(buf), "%ldus", static_cast<long>(micros));
+  } else if (micros < 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1fms",
+                  static_cast<double>(micros) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs",
+                  static_cast<double>(micros) / 1e6);
+  }
+  return buf;
+}
+
+}  // namespace muds

@@ -1,0 +1,26 @@
+#ifndef MUDS_COMMON_STRING_UTIL_H_
+#define MUDS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace muds {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a", "", "b"}).
+std::vector<std::string> SplitString(std::string_view text, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Formats a microsecond duration as a short human-readable string
+/// ("12.3ms", "4.56s").
+std::string FormatMicros(int64_t micros);
+
+}  // namespace muds
+
+#endif  // MUDS_COMMON_STRING_UTIL_H_

@@ -1,0 +1,99 @@
+#ifndef MUDS_COMMON_TIMER_H_
+#define MUDS_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace muds {
+
+/// Wall-clock stopwatch with microsecond resolution.
+class Timer {
+ public:
+  /// Starts the timer at construction.
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds, as a double.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase durations; drives the Figure 8 experiment
+/// (per-phase breakdown of MUDS) and the ProfilingResult timings.
+class PhaseTimings {
+ public:
+  /// Adds `micros` to the phase named `name`, creating it on first use.
+  /// Phases keep their first-use order.
+  void Add(const std::string& name, int64_t micros) {
+    for (auto& entry : entries_) {
+      if (entry.first == name) {
+        entry.second += micros;
+        return;
+      }
+    }
+    entries_.emplace_back(name, micros);
+  }
+
+  /// Returns the accumulated microseconds for `name`, or 0 if never added.
+  int64_t Micros(const std::string& name) const {
+    for (const auto& entry : entries_) {
+      if (entry.first == name) return entry.second;
+    }
+    return 0;
+  }
+
+  /// Sum over all phases, in microseconds.
+  int64_t TotalMicros() const {
+    int64_t total = 0;
+    for (const auto& entry : entries_) total += entry.second;
+    return total;
+  }
+
+  /// Phases in first-use order.
+  const std::vector<std::pair<std::string, int64_t>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, int64_t>> entries_;
+};
+
+/// RAII helper: measures the lifetime of the scope and adds it to a
+/// PhaseTimings entry on destruction.
+class ScopedPhaseTimer {
+ public:
+  ScopedPhaseTimer(PhaseTimings* timings, std::string name)
+      : timings_(timings), name_(std::move(name)) {}
+  ~ScopedPhaseTimer() {
+    if (timings_ != nullptr) timings_->Add(name_, timer_.ElapsedMicros());
+  }
+
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  PhaseTimings* timings_;
+  std::string name_;
+  Timer timer_;
+};
+
+}  // namespace muds
+
+#endif  // MUDS_COMMON_TIMER_H_

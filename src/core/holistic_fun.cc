@@ -1,0 +1,52 @@
+#include "core/holistic_fun.h"
+
+#include "fd/fun.h"
+#include "ind/spider.h"
+#include "pli/pli_cache.h"
+#include "ucc/ducc.h"
+
+namespace muds {
+
+HolisticResult HolisticFun::Run(const Relation& relation) {
+  HolisticResult result;
+  {
+    ScopedPhaseTimer timer(&result.timings, "SPIDER");
+    result.inds = Spider::Discover(relation);
+  }
+  {
+    ScopedPhaseTimer timer(&result.timings, "FUN");
+    FdDiscoveryResult fd_result = Fun::Discover(relation);
+    result.fds = std::move(fd_result.fds);
+    result.uccs = std::move(fd_result.uccs);
+    result.fd_checks = fd_result.fd_checks;
+    result.pli_intersects = fd_result.pli_intersects;
+  }
+  return result;
+}
+
+HolisticResult Baseline::Run(const Relation& relation, uint64_t seed) {
+  HolisticResult result;
+  {
+    ScopedPhaseTimer timer(&result.timings, "SPIDER");
+    result.inds = Spider::Discover(relation);
+  }
+  {
+    ScopedPhaseTimer timer(&result.timings, "DUCC");
+    // DUCC builds its own PLIs: no sharing in the baseline.
+    PliCache cache(relation);
+    Ducc::Options options;
+    options.seed = seed;
+    result.uccs = Ducc::Discover(relation, &cache, options);
+    result.pli_intersects += cache.NumIntersects();
+  }
+  {
+    ScopedPhaseTimer timer(&result.timings, "FUN");
+    FdDiscoveryResult fd_result = Fun::Discover(relation);
+    result.fds = std::move(fd_result.fds);
+    result.fd_checks = fd_result.fd_checks;
+    result.pli_intersects += fd_result.pli_intersects;
+  }
+  return result;
+}
+
+}  // namespace muds

@@ -1,0 +1,43 @@
+#ifndef MUDS_CORE_HOLISTIC_FUN_H_
+#define MUDS_CORE_HOLISTIC_FUN_H_
+
+#include "common/timer.h"
+#include "data/metadata.h"
+#include "data/relation.h"
+
+namespace muds {
+
+/// Result of a Holistic FUN run (shape shared with the baseline).
+struct HolisticResult {
+  std::vector<Ind> inds;
+  std::vector<ColumnSet> uccs;
+  std::vector<Fd> fds;
+  PhaseTimings timings;
+  int64_t fd_checks = 0;
+  int64_t pli_intersects = 0;
+};
+
+/// Holistic FUN (§3.2): the "FDs and UCCs simultaneously" holistic
+/// algorithm. SPIDER runs on the shared load (one scan feeds the IND task
+/// and the PLI construction), and FUN — which must traverse every minimal
+/// UCC anyway, because minimal UCCs are free sets (Lemma 3) — stores and
+/// returns them instead of discarding them. No additional checks are
+/// needed, so the FD runtime is unchanged.
+class HolisticFun {
+ public:
+  static HolisticResult Run(const Relation& relation);
+};
+
+/// The evaluation baseline (§6): the sequential execution of the three
+/// single-task state-of-the-art algorithms — SPIDER (INDs), DUCC (UCCs),
+/// FUN (FDs) — with no sharing: DUCC and FUN each build their own PLIs.
+/// (The unshared *file read* is modeled by the Profiler facade, which
+/// parses the input once per algorithm for the baseline.)
+class Baseline {
+ public:
+  static HolisticResult Run(const Relation& relation, uint64_t seed = 1);
+};
+
+}  // namespace muds
+
+#endif  // MUDS_CORE_HOLISTIC_FUN_H_

@@ -1,0 +1,607 @@
+#include "core/muds.h"
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "fd/fd_util.h"
+#include "ind/spider.h"
+#include "pli/pli_cache.h"
+#include "setops/antichain.h"
+#include "setops/hitting_set.h"
+#include "setops/set_trie.h"
+#include "ucc/lattice_traversal.h"
+
+namespace muds {
+
+ColumnSet ConnectorLookup(const std::vector<ColumnSet>& minimal_uccs,
+                          const ColumnSet& connector) {
+  ColumnSet result;
+  for (const ColumnSet& ucc : minimal_uccs) {
+    if (connector.IsSubsetOf(ucc)) result = result.Union(ucc);
+  }
+  return result.Difference(connector);
+}
+
+namespace {
+
+// Minimal-UCC store with the §5.4 prefix tree, optionally degraded to
+// linear scans for the ablation benchmark.
+class UccStore {
+ public:
+  UccStore(std::vector<ColumnSet> uccs, bool use_trie)
+      : list_(std::move(uccs)), use_trie_(use_trie) {
+    if (use_trie_) {
+      for (const ColumnSet& ucc : list_) trie_.Insert(ucc);
+    }
+  }
+
+  std::vector<ColumnSet> SupersetsOf(const ColumnSet& set) const {
+    if (use_trie_) return trie_.CollectSupersetsOf(set);
+    std::vector<ColumnSet> out;
+    for (const ColumnSet& ucc : list_) {
+      if (set.IsSubsetOf(ucc)) out.push_back(ucc);
+    }
+    return out;
+  }
+
+  std::vector<ColumnSet> SubsetsOf(const ColumnSet& set) const {
+    if (use_trie_) return trie_.CollectSubsetsOf(set);
+    std::vector<ColumnSet> out;
+    for (const ColumnSet& ucc : list_) {
+      if (ucc.IsSubsetOf(set)) out.push_back(ucc);
+    }
+    return out;
+  }
+
+  // Table 2: candidate right-hand sides for a left-hand side split off
+  // `connector`.
+  ColumnSet Lookup(const ColumnSet& connector) const {
+    ColumnSet result;
+    for (const ColumnSet& ucc : SupersetsOf(connector)) {
+      result = result.Union(ucc);
+    }
+    return result.Difference(connector);
+  }
+
+  const std::vector<ColumnSet>& All() const { return list_; }
+
+ private:
+  std::vector<ColumnSet> list_;
+  SetTrie trie_;
+  bool use_trie_;
+};
+
+// Verified FDs found so far: a grow-only map lhs → right-hand sides (every
+// entry has been validated against the data) plus, per right-hand side, the
+// antichain of minimal left-hand sides that forms the final answer.
+class FdStore {
+ public:
+  // Records the verified FD lhs → rhs. Returns true if it is new knowledge:
+  // no stored lhs' ⊆ lhs already determined rhs. Dominated FDs are not
+  // recorded at all — they carry no connector information a stored subset
+  // does not already carry.
+  bool Add(const ColumnSet& lhs, int rhs) {
+    MinimalSetCollection& collection = minimal_[rhs];
+    if (collection.ContainsSubsetOf(lhs)) return false;
+    collection.Insert(lhs);
+    AddRaw(lhs, rhs);
+    return true;
+  }
+
+  // True if a stored left-hand side within `lhs` already determines `rhs`
+  // (the FD lhs → rhs is implied; no data check needed).
+  bool Covers(const ColumnSet& lhs, int rhs) const {
+    auto it = minimal_.find(rhs);
+    return it != minimal_.end() && it->second.ContainsSubsetOf(lhs);
+  }
+
+  // All stored (lhs, rhs-set) pairs, including entries later superseded by
+  // smaller left-hand sides (they remain valid FDs and useful connectors).
+  const std::unordered_map<ColumnSet, ColumnSet, ColumnSetHash>& entries()
+      const {
+    return rhs_of_lhs_;
+  }
+
+  // Stored left-hand sides that are subsets of `set` (including `set`):
+  // the connectors of Algorithm 2.
+  std::vector<ColumnSet> LhsSubsetsOf(const ColumnSet& set) const {
+    return lhs_trie_.CollectSubsetsOf(set);
+  }
+
+  // Right-hand sides stored for exactly `lhs` (empty set if none).
+  ColumnSet RhsOf(const ColumnSet& lhs) const {
+    auto it = rhs_of_lhs_.find(lhs);
+    return it == rhs_of_lhs_.end() ? ColumnSet() : it->second;
+  }
+
+  std::vector<ColumnSet> MinimalLhsFor(int rhs) const {
+    auto it = minimal_.find(rhs);
+    return it == minimal_.end() ? std::vector<ColumnSet>()
+                                : it->second.CollectAll();
+  }
+
+  // Replaces the minimal answer for `rhs` (used by exhaustive completion).
+  void ReplaceMinimal(int rhs, const std::vector<ColumnSet>& lhss) {
+    minimal_[rhs].Clear();
+    for (const ColumnSet& lhs : lhss) {
+      minimal_[rhs].Insert(lhs);
+      AddRaw(lhs, rhs);
+    }
+  }
+
+  std::vector<Fd> MinimalFds() const {
+    std::vector<Fd> fds;
+    for (const auto& [rhs, collection] : minimal_) {
+      for (const ColumnSet& lhs : collection.CollectAll()) {
+        fds.push_back(Fd{lhs, rhs});
+      }
+    }
+    return fds;
+  }
+
+ private:
+  void AddRaw(const ColumnSet& lhs, int rhs) {
+    rhs_of_lhs_[lhs].Add(rhs);
+    lhs_trie_.Insert(lhs);
+  }
+
+  std::unordered_map<ColumnSet, ColumnSet, ColumnSetHash> rhs_of_lhs_;
+  SetTrie lhs_trie_;
+  std::map<int, MinimalSetCollection> minimal_;
+};
+
+struct PairHash {
+  size_t operator()(const std::pair<ColumnSet, ColumnSet>& p) const {
+    return p.first.Hash() * 1000003 + p.second.Hash();
+  }
+};
+
+// Task buckets keyed by (context, lhs) and processed by descending lhs
+// size, merging right-hand sides of tasks that meet at the same node. This
+// implements the task queues of Algorithms 1 and 4 without re-expanding a
+// node once per path through the subset lattice.
+class TaskLevels {
+ public:
+  using Key = std::pair<ColumnSet, ColumnSet>;  // (context, lhs)
+
+  void Add(const ColumnSet& context, const ColumnSet& lhs,
+           const ColumnSet& rhs) {
+    const int size = lhs.Count();
+    if (size >= static_cast<int>(levels_.size())) {
+      levels_.resize(static_cast<size_t>(size) + 1);
+    }
+    auto& bucket = levels_[static_cast<size_t>(size)];
+    auto [it, inserted] = bucket.emplace(Key{context, lhs}, rhs);
+    if (!inserted) it->second = it->second.Union(rhs);
+  }
+
+  int MaxSize() const { return static_cast<int>(levels_.size()) - 1; }
+
+  // Tasks of the given lhs size (may be appended to while smaller levels
+  // are still pending).
+  const std::unordered_map<Key, ColumnSet, PairHash>& Level(int size) const {
+    static const std::unordered_map<Key, ColumnSet, PairHash> kEmpty;
+    return size < static_cast<int>(levels_.size())
+               ? levels_[static_cast<size_t>(size)]
+               : kEmpty;
+  }
+
+ private:
+  std::vector<std::unordered_map<Key, ColumnSet, PairHash>> levels_;
+};
+
+class MudsRunner {
+ public:
+  MudsRunner(const Relation& relation, const MudsOptions& options)
+      : relation_(relation), options_(options) {}
+
+  MudsResult Run();
+
+ private:
+  // Phase implementations; see the section references on each.
+  void RunSpider();                 // §2.1, shared load phase.
+  void RunDucc();                   // §2.2.
+  void MinimizeFdsFromUccs();       // §5.1, Algorithm 1.
+  void CalculateRz();               // §5.2.
+  void DiscoverShadowedFds();       // §5.3, Algorithms 2-4.
+  void ExhaustiveCompletion();      // Optional certification pass.
+
+  // Validates lhs → a for every candidate right-hand side a at once,
+  // returning the valid subset. Results are memoized per left-hand side as
+  // (checked, valid) bit sets: validity is immutable and the phases
+  // revisit the same candidates from different directions, so repeat
+  // queries cost one hash look-up plus bit algebra. (An antichain-based
+  // inference cache was tried and lost: superset queries on dense tries
+  // cost more than the PLI checks they saved.) Counters count actual data
+  // validations.
+  ColumnSet CheckFds(const ColumnSet& lhs, const ColumnSet& candidates,
+                     int64_t* counter) {
+    RhsKnowledge& knowledge = check_memo_[lhs];
+    const ColumnSet unchecked = candidates.Difference(knowledge.checked);
+    if (!unchecked.Empty()) {
+      const std::shared_ptr<const Pli> pli = cache_->Get(lhs);
+      for (int a = unchecked.First(); a >= 0;
+           a = unchecked.NextAtLeast(a + 1)) {
+        ++*counter;
+        if (pli->Refines(relation_.GetColumn(a))) knowledge.valid.Add(a);
+      }
+      knowledge.checked = knowledge.checked.Union(unchecked);
+    }
+    return candidates.Intersect(knowledge.valid);
+  }
+
+  bool CheckFd(const ColumnSet& lhs, int rhs, int64_t* counter) {
+    return !CheckFds(lhs, ColumnSet::Single(rhs), counter).Empty();
+  }
+
+  // §4.1: right-hand sides that can never form an FD with `lhs` because
+  // both sides would lie inside one minimal UCC (rule 1). Memoized: the
+  // same left-hand sides recur across the tasks of many minimal UCCs.
+  ColumnSet ImpossibleColumns(const ColumnSet& lhs) {
+    auto it = impossible_memo_.find(lhs);
+    if (it != impossible_memo_.end()) return it->second;
+    ColumnSet impossible = lhs;
+    for (const ColumnSet& ucc : ucc_store_->SupersetsOf(lhs)) {
+      impossible = impossible.Union(ucc);
+    }
+    impossible_memo_.emplace(lhs, impossible);
+    return impossible;
+  }
+
+  // Memoized connector look-up (§5.1, Table 2).
+  ColumnSet LookupConnector(const ColumnSet& connector) {
+    ++result_.stats.connector_lookups;
+    auto it = connector_memo_.find(connector);
+    if (it != connector_memo_.end()) return it->second;
+    const ColumnSet result = ucc_store_->Lookup(connector);
+    connector_memo_.emplace(connector, result);
+    return result;
+  }
+
+  // Algorithm 3: maximal subsets of `lhs` that contain no minimal UCC.
+  std::vector<ColumnSet> RemoveUccs(const ColumnSet& lhs);
+
+  // Algorithm 4 on merged task levels. Returns true if new minimal FDs
+  // were recorded.
+  bool MinimizeTasks(TaskLevels* tasks, int64_t* check_counter);
+
+  const Relation& relation_;
+  MudsOptions options_;
+  MudsResult result_;
+
+  std::optional<PliCache> cache_;
+  std::vector<ColumnSet> uccs_;
+  std::optional<UccStore> ucc_store_;
+  FdStore fd_store_;
+  ColumnSet active_;
+  ColumnSet z_;  // Union of all minimal UCCs.
+  std::unordered_map<ColumnSet, std::vector<ColumnSet>, ColumnSetHash>
+      remove_uccs_memo_;
+  std::unordered_map<ColumnSet, ColumnSet, ColumnSetHash> impossible_memo_;
+  std::unordered_map<ColumnSet, ColumnSet, ColumnSetHash> connector_memo_;
+
+  // Reduced lhs → right-hand sides already proposed to the shadowed
+  // minimizer.
+  std::unordered_map<ColumnSet, ColumnSet, ColumnSetHash>
+      dispatched_shadowed_;
+  // newLhs → right-hand sides already expanded in earlier rounds.
+  std::unordered_map<ColumnSet, ColumnSet, ColumnSetHash> processed_shadowed_;
+  // Per left-hand side: which right-hand sides were validated and which of
+  // those held.
+  struct RhsKnowledge {
+    ColumnSet checked;
+    ColumnSet valid;
+  };
+  std::unordered_map<ColumnSet, RhsKnowledge, ColumnSetHash> check_memo_;
+};
+
+MudsResult MudsRunner::Run() {
+  RunSpider();
+  RunDucc();
+
+  if (relation_.NumRows() > 1) {
+    // Pre-register the phases so the Figure 8 breakdown always lists them
+    // in the paper's order, even when a phase ends up with no work.
+    for (const char* phase :
+         {"minimizeFDs", "calculateRZ", "generateShadowedTasks",
+          "minimizeShadowedTasks"}) {
+      result_.timings.Add(phase, 0);
+    }
+    {
+      ScopedPhaseTimer timer(&result_.timings, "minimizeFDs");
+      MinimizeFdsFromUccs();
+    }
+    {
+      ScopedPhaseTimer timer(&result_.timings, "calculateRZ");
+      CalculateRz();
+    }
+    if (options_.run_paper_shadowed_phase ||
+        options_.completion == MudsOptions::Completion::kFixpoint) {
+      DiscoverShadowedFds();
+    }
+    if (options_.completion == MudsOptions::Completion::kExhaustive) {
+      ScopedPhaseTimer timer(&result_.timings, "exhaustiveCompletion");
+      ExhaustiveCompletion();
+    }
+  }
+
+  result_.fds = ConstantColumnFds(relation_);
+  for (const Fd& fd : fd_store_.MinimalFds()) result_.fds.push_back(fd);
+  Canonicalize(&result_.fds);
+  result_.uccs = uccs_;
+  Canonicalize(&result_.uccs);
+  result_.stats.pli_intersects = cache_->NumIntersects();
+  return result_;
+}
+
+void MudsRunner::RunSpider() {
+  ScopedPhaseTimer timer(&result_.timings, "SPIDER");
+  result_.inds = Spider::Discover(relation_);
+  // The paper builds the PLIs in the same pass that feeds SPIDER (§5);
+  // constructing the cache here mirrors that shared scan.
+  cache_.emplace(relation_);
+  active_ = relation_.ActiveColumns();
+}
+
+void MudsRunner::RunDucc() {
+  ScopedPhaseTimer timer(&result_.timings, "DUCC");
+  Ducc::Options ducc_options;
+  ducc_options.seed = options_.seed;
+  uccs_ = Ducc::Discover(relation_, &*cache_, ducc_options,
+                         &result_.stats.ducc);
+  ucc_store_.emplace(uccs_, options_.use_prefix_tree);
+  z_ = ColumnSet();
+  for (const ColumnSet& ucc : uccs_) z_ = z_.Union(ucc);
+}
+
+void MudsRunner::MinimizeFdsFromUccs() {
+  TaskLevels tasks;
+  for (const ColumnSet& ucc : uccs_) {
+    const ColumnSet rhs = z_.Difference(ucc);
+    if (ucc.Empty()) continue;
+    tasks.Add(ucc, ucc, rhs);
+  }
+
+  for (int size = tasks.MaxSize(); size >= 1; --size) {
+    for (const auto& [key, rhs_set] : tasks.Level(size)) {
+      const ColumnSet& m_ucc = key.first;
+      const ColumnSet& lhs = key.second;
+      ColumnSet current_rhs = rhs_set;
+      for (int c = lhs.First(); c >= 0; c = lhs.NextAtLeast(c + 1)) {
+        const ColumnSet subset = lhs.Without(c);
+        if (subset.Empty()) continue;
+        const ColumnSet connector = m_ucc.Difference(subset);
+        ColumnSet potential = LookupConnector(connector);
+        potential = potential.Difference(ImpossibleColumns(subset));
+        const ColumnSet valid_rhs =
+            CheckFds(subset, potential, &result_.stats.fd_checks_minimize);
+        current_rhs = current_rhs.Difference(valid_rhs);
+        if (!valid_rhs.Empty()) tasks.Add(m_ucc, subset, valid_rhs);
+      }
+      for (int a = current_rhs.First(); a >= 0;
+           a = current_rhs.NextAtLeast(a + 1)) {
+        fd_store_.Add(lhs, a);
+      }
+    }
+  }
+}
+
+void MudsRunner::CalculateRz() {
+  const ColumnSet rz = active_.Difference(z_);
+  for (int a = rz.First(); a >= 0; a = rz.NextAtLeast(a + 1)) {
+    LatticeTraversal::Options traversal_options;
+    traversal_options.seed = options_.seed * 7919 + static_cast<uint64_t>(a);
+    // Key pruning: every minimal UCC determines `a` (a ∉ Z, so no UCC
+    // contains it).
+    traversal_options.known_positive = uccs_;
+    LatticeTraversal traversal(
+        active_.Without(a),
+        [this, a](const ColumnSet& lhs) {
+          return CheckFd(lhs, a, &result_.stats.fd_checks_rz);
+        },
+        traversal_options);
+    for (const ColumnSet& lhs : traversal.Run()) fd_store_.Add(lhs, a);
+  }
+}
+
+std::vector<ColumnSet> MudsRunner::RemoveUccs(const ColumnSet& lhs) {
+  auto memo = remove_uccs_memo_.find(lhs);
+  if (memo != remove_uccs_memo_.end()) return memo->second;
+
+  const std::vector<ColumnSet> contained = ucc_store_->SubsetsOf(lhs);
+  std::vector<ColumnSet> results;
+  if (contained.empty()) {
+    results = {lhs};
+  } else if (options_.completion == MudsOptions::Completion::kExhaustive &&
+             contained.size() > 32) {
+    // Budget guard: enumerating the UCC-free reductions of a left-hand
+    // side that swallows dozens of minimal UCCs is itself exponential.
+    // Under the (default) exhaustive completion the shadowed phase is only
+    // an accelerator, so skipping the reduction is sound — the
+    // certification sweep will find whatever this would have proposed.
+    // The paper-faithful kFixpoint mode never truncates.
+  } else {
+    // Algorithm 3 asks for the UCC-free reductions of `lhs`: subsets that
+    // break every contained minimal UCC by removing one column per UCC.
+    // The removal sets are exactly the minimal hitting sets of the
+    // contained-UCC family, so the maximal UCC-free reductions are their
+    // complements. (The naive one-column-per-UCC branch enumeration of the
+    // pseudo-code revisits exponentially many duplicate states when a lhs
+    // contains many UCCs.)
+    for (const ColumnSet& hit :
+         MinimalHittingSets(contained, ColumnSet::kMaxColumns)) {
+      results.push_back(lhs.Difference(hit));
+    }
+  }
+  remove_uccs_memo_.emplace(lhs, results);
+  return results;
+}
+
+bool MudsRunner::MinimizeTasks(TaskLevels* tasks, int64_t* check_counter) {
+  bool found_new = false;
+  const ColumnSet no_context;  // Algorithm 4 tasks carry no mUCC context.
+  for (int size = tasks->MaxSize(); size >= 1; --size) {
+    for (const auto& [key, rhs_set] : tasks->Level(size)) {
+      const ColumnSet& lhs = key.second;
+      // Right-hand sides already determined by a stored subset of this lhs
+      // cannot yield new minimal FDs here.
+      ColumnSet pending = rhs_set;
+      if (options_.shadowed_knowledge_pruning) {
+        for (int a = pending.First(); a >= 0;
+             a = pending.NextAtLeast(a + 1)) {
+          if (fd_store_.Covers(lhs, a)) pending.Remove(a);
+        }
+        if (pending.Empty()) continue;
+      }
+
+      ColumnSet current_rhs = pending;
+      for (int c = lhs.First(); c >= 0; c = lhs.NextAtLeast(c + 1)) {
+        const ColumnSet subset = lhs.Without(c);
+        if (subset.Empty()) continue;
+        ColumnSet candidates = pending.Difference(subset);
+        if (options_.shadowed_knowledge_pruning) {
+          for (int a = candidates.First(); a >= 0;
+               a = candidates.NextAtLeast(a + 1)) {
+            if (fd_store_.Covers(subset, a)) {
+              // Inferred from stored knowledge: subset → a holds, so
+              // lhs → a is not minimal; the stored FD already covers the
+              // subtree.
+              current_rhs.Remove(a);
+              candidates.Remove(a);
+            }
+          }
+        }
+        const ColumnSet valid_rhs = CheckFds(subset, candidates, check_counter);
+        current_rhs = current_rhs.Difference(valid_rhs);
+        if (!valid_rhs.Empty()) tasks->Add(no_context, subset, valid_rhs);
+      }
+      for (int a = current_rhs.First(); a >= 0;
+           a = current_rhs.NextAtLeast(a + 1)) {
+        if (fd_store_.Add(lhs, a)) found_new = true;
+      }
+    }
+  }
+  return found_new;
+}
+
+void MudsRunner::DiscoverShadowedFds() {
+  for (;;) {
+    ++result_.stats.shadowed_rounds;
+    TaskLevels tasks;
+    bool generated = false;
+    {
+      ScopedPhaseTimer timer(&result_.timings, "generateShadowedTasks");
+      // Snapshot: Algorithm 2 iterates the FDs discovered so far. Many
+      // entries extend to the same shadowed left-hand side, so the
+      // candidate right-hand sides are merged per distinct newLhs before
+      // any reduction or validation work happens.
+      std::unordered_map<ColumnSet, ColumnSet, ColumnSetHash> pending;
+      for (const auto& [lhs, rhs_set] : fd_store_.entries()) {
+        // Shadowed columns: right-hand sides of stored FDs whose left-hand
+        // side (the connector) is a subset of this lhs — i.e. exactly the
+        // columns the store's knowledge derives from subsets of lhs.
+        ColumnSet shadowed;
+        for (int a = active_.First(); a >= 0; a = active_.NextAtLeast(a + 1)) {
+          if (!lhs.Contains(a) && fd_store_.Covers(lhs, a)) shadowed.Add(a);
+        }
+        if (shadowed.Empty()) continue;
+        const ColumnSet new_lhs = lhs.Union(shadowed);
+        pending[new_lhs] = pending[new_lhs].Union(rhs_set);
+      }
+      for (const auto& [new_lhs, merged_rhs] : pending) {
+        // Only the right-hand sides not handled in an earlier round are
+        // new work for this newLhs.
+        ColumnSet& done = processed_shadowed_[new_lhs];
+        const ColumnSet fresh_rhs = merged_rhs.Difference(done);
+        if (fresh_rhs.Empty()) continue;
+        done = done.Union(fresh_rhs);
+        for (const ColumnSet& reduced : RemoveUccs(new_lhs)) {
+          // Validate immediately (§6.4): only FDs that actually hold become
+          // minimization tasks. Right-hand sides already determined by a
+          // stored subset of the reduced lhs are skipped — re-minimizing
+          // them can only rediscover known FDs.
+          // Each (reduced, a) candidate is dispatched once per run —
+          // validity is a property of the data, not of the entry that
+          // proposed it.
+          ColumnSet& dispatched = dispatched_shadowed_[reduced];
+          ColumnSet candidates =
+              fresh_rhs.Difference(reduced).Difference(dispatched);
+          dispatched = dispatched.Union(candidates);
+          if (options_.shadowed_knowledge_pruning) {
+            for (int a = candidates.First(); a >= 0;
+                 a = candidates.NextAtLeast(a + 1)) {
+              if (fd_store_.Covers(reduced, a)) candidates.Remove(a);
+            }
+          }
+          const ColumnSet valid = CheckFds(
+              reduced, candidates, &result_.stats.fd_checks_shadowed);
+          if (valid.Empty()) continue;
+          tasks.Add(ColumnSet(), reduced, valid);
+          ++result_.stats.shadowed_tasks;
+          generated = true;
+        }
+      }
+    }
+    if (!generated) break;
+    bool found_new;
+    {
+      ScopedPhaseTimer timer(&result_.timings, "minimizeShadowedTasks");
+      found_new =
+          MinimizeTasks(&tasks, &result_.stats.fd_checks_shadowed);
+    }
+    // Fixpoint iteration (DESIGN.md): new FDs can expose new shadowed
+    // columns, so repeat until the store stops growing.
+    if (!found_new) break;
+  }
+}
+
+void MudsRunner::ExhaustiveCompletion() {
+  // Everything the earlier phases validated — positively or negatively —
+  // seeds the per-right-hand-side traversals, so they only explore what
+  // phases 1-3 genuinely left open.
+  std::map<int, std::vector<ColumnSet>> known_positive;
+  std::map<int, std::vector<ColumnSet>> known_negative;
+  for (const auto& [lhs, knowledge] : check_memo_) {
+    for (int a = knowledge.checked.First(); a >= 0;
+         a = knowledge.checked.NextAtLeast(a + 1)) {
+      (knowledge.valid.Contains(a) ? known_positive
+                                   : known_negative)[a]
+          .push_back(lhs);
+    }
+  }
+
+  for (int a = z_.First(); a >= 0; a = z_.NextAtLeast(a + 1)) {
+    LatticeTraversal::Options traversal_options;
+    traversal_options.seed =
+        options_.seed * 104729 + static_cast<uint64_t>(a);
+    traversal_options.known_positive = known_positive[a];
+    traversal_options.known_negative = known_negative[a];
+    for (const ColumnSet& lhs : fd_store_.MinimalLhsFor(a)) {
+      traversal_options.known_positive.push_back(lhs);
+    }
+    // Key pruning: every minimal UCC not containing `a` determines it.
+    for (const ColumnSet& ucc : uccs_) {
+      if (!ucc.Contains(a)) traversal_options.known_positive.push_back(ucc);
+    }
+    LatticeTraversal traversal(
+        active_.Without(a),
+        [this, a](const ColumnSet& lhs) {
+          return CheckFd(lhs, a, &result_.stats.fd_checks_shadowed);
+        },
+        traversal_options);
+    fd_store_.ReplaceMinimal(a, traversal.Run());
+  }
+}
+
+}  // namespace
+
+MudsResult Muds::Run(const Relation& relation, const MudsOptions& options) {
+  return MudsRunner(relation, options).Run();
+}
+
+}  // namespace muds

@@ -1,0 +1,182 @@
+#include "core/profiler.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "core/holistic_fun.h"
+#include "data/preprocess.h"
+#include "pli/pli_cache.h"
+#include "ucc/ducc.h"
+
+namespace muds {
+
+namespace {
+
+void MergeTimings(const PhaseTimings& from, PhaseTimings* into) {
+  for (const auto& [name, micros] : from.entries()) into->Add(name, micros);
+}
+
+// §6.5 / §8: decide between MUDS and Holistic FUN for Algorithm::kAuto.
+// The UCC-shape policy pays one DUCC run for the decision; §6.4 shows that
+// cost is negligible next to FD discovery.
+Algorithm ChooseAutomatically(const Relation& relation,
+                              const ProfileOptions& options,
+                              PhaseTimings* timings) {
+  const ColumnSet active = relation.ActiveColumns();
+  if (options.auto_policy == AutoPolicy::kColumnCount) {
+    return active.Count() >= options.auto_column_threshold
+               ? Algorithm::kMuds
+               : Algorithm::kHolisticFun;
+  }
+  Timer timer;
+  PliCache cache(relation);
+  Ducc::Options ducc_options;
+  ducc_options.seed = options.seed;
+  const std::vector<ColumnSet> uccs =
+      Ducc::Discover(relation, &cache, ducc_options);
+  timings->Add("autoSelect", timer.ElapsedMicros());
+
+  int64_t total_size = 0;
+  ColumnSet z;
+  for (const ColumnSet& ucc : uccs) {
+    total_size += ucc.Count();
+    z = z.Union(ucc);
+  }
+  if (uccs.empty()) return Algorithm::kHolisticFun;
+  const double mean_size =
+      static_cast<double>(total_size) / static_cast<double>(uccs.size());
+  // "Many, large UCCs": composite keys on average, covering most columns.
+  const bool many_large =
+      mean_size >= 2.0 && 2 * z.Count() >= active.Count();
+  return many_large ? Algorithm::kMuds : Algorithm::kHolisticFun;
+}
+
+ProfilingResult RunOnDeduped(const Relation& relation,
+                             const ProfileOptions& options) {
+  if (options.algorithm == Algorithm::kAuto) {
+    PhaseTimings selection_timings;
+    ProfileOptions chosen = options;
+    chosen.algorithm =
+        ChooseAutomatically(relation, options, &selection_timings);
+    ProfilingResult result = RunOnDeduped(relation, chosen);
+    MergeTimings(selection_timings, &result.timings);
+    return result;
+  }
+
+  ProfilingResult result;
+  result.column_names = relation.ColumnNames();
+  result.algorithm_used = options.algorithm;
+  switch (options.algorithm) {
+    case Algorithm::kMuds: {
+      MudsOptions muds_options = options.muds;
+      muds_options.seed = options.seed;
+      MudsResult muds = Muds::Run(relation, muds_options);
+      result.inds = std::move(muds.inds);
+      result.uccs = std::move(muds.uccs);
+      result.fds = std::move(muds.fds);
+      MergeTimings(muds.timings, &result.timings);
+      result.counters = {
+          {"fd_checks", muds.stats.fd_checks_minimize +
+                            muds.stats.fd_checks_rz +
+                            muds.stats.fd_checks_shadowed},
+          {"fd_checks_minimize", muds.stats.fd_checks_minimize},
+          {"fd_checks_rz", muds.stats.fd_checks_rz},
+          {"fd_checks_shadowed", muds.stats.fd_checks_shadowed},
+          {"pli_intersects", muds.stats.pli_intersects},
+          {"connector_lookups", muds.stats.connector_lookups},
+          {"shadowed_tasks", muds.stats.shadowed_tasks},
+          {"shadowed_rounds", muds.stats.shadowed_rounds},
+          {"ducc_uniqueness_checks", muds.stats.ducc.uniqueness_checks},
+      };
+      break;
+    }
+    case Algorithm::kHolisticFun:
+    case Algorithm::kBaseline: {
+      HolisticResult holistic =
+          options.algorithm == Algorithm::kHolisticFun
+              ? HolisticFun::Run(relation)
+              : Baseline::Run(relation, options.seed);
+      result.inds = std::move(holistic.inds);
+      result.uccs = std::move(holistic.uccs);
+      result.fds = std::move(holistic.fds);
+      MergeTimings(holistic.timings, &result.timings);
+      result.counters = {
+          {"fd_checks", holistic.fd_checks},
+          {"pli_intersects", holistic.pli_intersects},
+      };
+      break;
+    }
+    case Algorithm::kAuto:
+      MUDS_CHECK_MSG(false, "kAuto is resolved before dispatch");
+      break;
+  }
+  return result;
+}
+
+}  // namespace
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kMuds:
+      return "MUDS";
+    case Algorithm::kHolisticFun:
+      return "HFUN";
+    case Algorithm::kBaseline:
+      return "baseline";
+    case Algorithm::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+ProfilingResult ProfileRelation(const Relation& relation,
+                                const ProfileOptions& options) {
+  Timer dedup_timer;
+  DeduplicateResult deduped = DeduplicateRows(relation);
+  const int64_t dedup_micros = dedup_timer.ElapsedMicros();
+
+  ProfilingResult result = RunOnDeduped(deduped.relation, options);
+  result.timings.Add("dedup", dedup_micros);
+  result.duplicates_removed = deduped.duplicates_removed;
+  return result;
+}
+
+Result<ProfilingResult> ProfileCsvString(std::string_view text,
+                                         const ProfileOptions& options) {
+  // The baseline runs three independent tools, each reading the input
+  // itself; the holistic algorithms read once (§3: shared I/O).
+  const int num_reads = options.algorithm == Algorithm::kBaseline ? 3 : 1;
+  int64_t load_micros = 0;
+  std::optional<Relation> relation;
+  for (int i = 0; i < num_reads; ++i) {
+    Timer load_timer;
+    Result<Relation> parsed = CsvReader::ReadString(text, options.csv);
+    if (!parsed.ok()) return parsed.status();
+    load_micros += load_timer.ElapsedMicros();
+    relation.emplace(std::move(parsed).value());
+  }
+
+  ProfilingResult result = ProfileRelation(*relation, options);
+  result.timings.Add("load", load_micros);
+  return result;
+}
+
+Result<ProfilingResult> ProfileCsvFile(const std::string& path,
+                                       const ProfileOptions& options) {
+  const int num_reads = options.algorithm == Algorithm::kBaseline ? 3 : 1;
+  int64_t load_micros = 0;
+  std::optional<Relation> relation;
+  for (int i = 0; i < num_reads; ++i) {
+    Timer load_timer;
+    Result<Relation> parsed = CsvReader::ReadFile(path, options.csv);
+    if (!parsed.ok()) return parsed.status();
+    load_micros += load_timer.ElapsedMicros();
+    relation.emplace(std::move(parsed).value());
+  }
+
+  ProfilingResult result = ProfileRelation(*relation, options);
+  result.timings.Add("load", load_micros);
+  return result;
+}
+
+}  // namespace muds

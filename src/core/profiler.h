@@ -1,0 +1,114 @@
+#ifndef MUDS_CORE_PROFILER_H_
+#define MUDS_CORE_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "core/muds.h"
+#include "data/csv.h"
+#include "data/metadata.h"
+#include "data/relation.h"
+
+namespace muds {
+
+/// Which profiling strategy Profile() runs (§6 compares all three).
+enum class Algorithm {
+  /// MUDS (§5): the holistic, inter-task-pruning algorithm.
+  kMuds,
+  /// Holistic FUN (§3.2): shared load + FUN returning its UCC byproduct.
+  kHolisticFun,
+  /// Sequential SPIDER, DUCC, FUN with no sharing (the paper's baseline;
+  /// the CSV entry points parse the input once per task to model the
+  /// unshared reads).
+  kBaseline,
+  /// The paper's closing recommendation (§6.5, §8): pick MUDS or Holistic
+  /// FUN per input. Column-count rule by default ("making the decision
+  /// based on the number of columns is easier and similarly precise"),
+  /// with `ProfileOptions::auto_policy` switching to the UCC-size rule
+  /// ("one could choose MUDS' FD discovery if many, large UCCs have been
+  /// found").
+  kAuto,
+};
+
+const char* AlgorithmName(Algorithm algorithm);
+
+/// How Algorithm::kAuto decides between MUDS and Holistic FUN.
+enum class AutoPolicy {
+  /// §6.5: "the average size of minimal FDs correlates with the number of
+  /// columns, [so] we can choose MUDS or Holistic FUN based on the number
+  /// of columns." MUDS for >= auto_column_threshold active columns.
+  kColumnCount,
+  /// §6.5's alternative: discover the minimal UCCs first (they are needed
+  /// either way) and pick MUDS' FD discovery "if many, large UCCs have
+  /// been found". MUDS when the mean minimal-UCC size is >= 2 and UCCs
+  /// cover most columns; Holistic FUN otherwise.
+  kUccShape,
+};
+
+/// Options for the Profile* entry points.
+struct ProfileOptions {
+  Algorithm algorithm = Algorithm::kMuds;
+  /// Seed for randomized traversals (MUDS / baseline DUCC).
+  uint64_t seed = 1;
+  /// MUDS-specific knobs (its `seed` field is overridden by `seed` above).
+  MudsOptions muds;
+  /// CSV dialect for the CSV entry points.
+  CsvOptions csv;
+  /// kAuto selection rule and its column threshold ("Muds usually performs
+  /// best on datasets with ten or more columns", §6.5).
+  AutoPolicy auto_policy = AutoPolicy::kColumnCount;
+  int auto_column_threshold = 10;
+};
+
+/// The holistic profiling answer: all three metadata types for one
+/// relation, plus per-phase timings and work counters.
+struct ProfilingResult {
+  std::vector<Ind> inds;
+  std::vector<ColumnSet> uccs;
+  std::vector<Fd> fds;
+
+  /// Wall-clock per phase, in first-execution order; phase names follow the
+  /// paper ("SPIDER", "DUCC", "minimizeFDs", ...; plus "load" and "dedup").
+  PhaseTimings timings;
+
+  /// Work counters ("fd_checks", "pli_intersects", ...).
+  std::vector<std::pair<std::string, int64_t>> counters;
+
+  /// Duplicate rows dropped by preprocessing (§3).
+  int64_t duplicates_removed = 0;
+
+  /// The algorithm that actually ran (differs from the requested one only
+  /// for Algorithm::kAuto).
+  Algorithm algorithm_used = Algorithm::kMuds;
+
+  /// Column names of the profiled relation, for rendering the output.
+  std::vector<std::string> column_names;
+
+  /// Convenience: total runtime over all phases, in seconds.
+  double TotalSeconds() const {
+    return static_cast<double>(timings.TotalMicros()) / 1e6;
+  }
+};
+
+/// Profiles an already-loaded relation. Rows are deduplicated first (§3).
+ProfilingResult ProfileRelation(const Relation& relation,
+                                const ProfileOptions& options = {});
+
+/// Parses CSV text and profiles it. For the baseline algorithm the text is
+/// parsed once per profiling task (three times), reproducing the unshared
+/// I/O cost the holistic algorithms eliminate.
+Result<ProfilingResult> ProfileCsvString(std::string_view text,
+                                         const ProfileOptions& options = {});
+
+/// Reads a CSV file and profiles it (same baseline re-read semantics).
+Result<ProfilingResult> ProfileCsvFile(const std::string& path,
+                                       const ProfileOptions& options = {});
+
+}  // namespace muds
+
+#endif  // MUDS_CORE_PROFILER_H_

@@ -1,0 +1,25 @@
+#ifndef MUDS_CORE_REPORT_H_
+#define MUDS_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/profiler.h"
+
+namespace muds {
+
+/// Serializes a profiling result as JSON: algorithm, column names,
+/// dependencies (with column *names*, not indices), and per-phase timings.
+/// Stable field order; safe escaping for arbitrary cell/column content.
+std::string ProfilingResultToJson(const ProfilingResult& result);
+
+/// Renders the human-readable report the CLI prints: header counts plus —
+/// unless `summary_only` — every dependency and the phase timings.
+std::string ProfilingResultToText(const ProfilingResult& result,
+                                  bool summary_only = false);
+
+/// Escapes a string for embedding in JSON (quotes included).
+std::string JsonQuote(const std::string& value);
+
+}  // namespace muds
+
+#endif  // MUDS_CORE_REPORT_H_

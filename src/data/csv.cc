@@ -1,0 +1,230 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace muds {
+
+namespace {
+
+// Incremental CSV record scanner over a string_view.
+class RecordScanner {
+ public:
+  RecordScanner(std::string_view text, const CsvOptions& options)
+      : text_(text), options_(options) {}
+
+  // Reads the next record into `fields`. Returns false at end of input.
+  // On a malformed record (unterminated quote) sets `error`.
+  bool NextRecord(std::vector<std::string>* fields, Status* error) {
+    fields->clear();
+    if (pos_ >= text_.size()) return false;
+    std::string field;
+    bool in_quotes = false;
+    bool saw_any = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      saw_any = true;
+      if (in_quotes) {
+        if (c == options_.quote) {
+          if (pos_ + 1 < text_.size() && text_[pos_ + 1] == options_.quote) {
+            field += options_.quote;  // Doubled quote = literal quote.
+            pos_ += 2;
+          } else {
+            in_quotes = false;
+            ++pos_;
+          }
+        } else {
+          field += c;
+          ++pos_;
+        }
+        continue;
+      }
+      if (c == options_.quote && field.empty()) {
+        in_quotes = true;
+        ++pos_;
+      } else if (c == options_.separator) {
+        fields->push_back(std::move(field));
+        field.clear();
+        ++pos_;
+      } else if (c == '\n' || c == '\r') {
+        // Consume the line break ("\r\n" counts as one).
+        if (c == '\r' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '\n') {
+          ++pos_;
+        }
+        ++pos_;
+        fields->push_back(std::move(field));
+        ++record_number_;
+        return true;
+      } else {
+        field += c;
+        ++pos_;
+      }
+    }
+    if (in_quotes) {
+      *error = Status::ParseError("unterminated quoted field in record " +
+                                  std::to_string(record_number_ + 1));
+      return false;
+    }
+    if (saw_any) {
+      fields->push_back(std::move(field));
+      ++record_number_;
+      return true;
+    }
+    return false;
+  }
+
+  int64_t record_number() const { return record_number_; }
+
+ private:
+  std::string_view text_;
+  CsvOptions options_;
+  size_t pos_ = 0;
+  int64_t record_number_ = 0;
+};
+
+bool NeedsQuoting(const std::string& value, const CsvOptions& options) {
+  for (char c : value) {
+    if (c == options.separator || c == options.quote || c == '\n' ||
+        c == '\r') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendField(const std::string& value, const CsvOptions& options,
+                 std::string* out) {
+  if (!NeedsQuoting(value, options)) {
+    *out += value;
+    return;
+  }
+  *out += options.quote;
+  for (char c : value) {
+    if (c == options.quote) *out += options.quote;
+    *out += c;
+  }
+  *out += options.quote;
+}
+
+}  // namespace
+
+Result<Relation> CsvReader::ReadString(std::string_view text,
+                                       const CsvOptions& options,
+                                       std::string name) {
+  RecordScanner scanner(text, options);
+  std::vector<std::string> fields;
+  Status error;
+  // NULL ≠ NULL: rewrite each null cell into a per-cell unique value, so
+  // nulls never compare equal to anything (including each other).
+  int64_t null_counter = 0;
+  const auto apply_nulls = [&](std::vector<std::string>* record) {
+    if (options.nulls != NullSemantics::kNullUnequal) return;
+    for (std::string& cell : *record) {
+      if (cell == options.null_token) {
+        cell = std::string("\x01null#") + std::to_string(null_counter++);
+      }
+    }
+  };
+
+  std::vector<std::string> column_names;
+  if (options.has_header) {
+    if (!scanner.NextRecord(&fields, &error)) {
+      if (!error.ok()) return error;
+      return Status::ParseError("empty input: missing header record");
+    }
+    column_names = fields;
+  }
+
+  RelationBuilder* builder = nullptr;
+  std::optional<RelationBuilder> storage;
+  int64_t rows_read = 0;
+  while (scanner.NextRecord(&fields, &error)) {
+    if (options.max_rows >= 0 && rows_read >= options.max_rows) break;
+    if (builder == nullptr) {
+      if (!options.has_header) {
+        column_names.reserve(fields.size());
+        for (size_t i = 0; i < fields.size(); ++i) {
+          column_names.push_back("col" + std::to_string(i));
+        }
+      }
+      if (static_cast<int>(column_names.size()) > ColumnSet::kMaxColumns) {
+        return Status::InvalidArgument(
+            "too many columns: " + std::to_string(column_names.size()) +
+            " > " + std::to_string(ColumnSet::kMaxColumns));
+      }
+      storage.emplace(column_names, name);
+      builder = &*storage;
+      if (!options.has_header) {
+        apply_nulls(&fields);
+        builder->AddRow(fields);
+        ++rows_read;
+        continue;
+      }
+    }
+    if (fields.size() != column_names.size()) {
+      return Status::ParseError(
+          "record " + std::to_string(scanner.record_number()) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(column_names.size()));
+    }
+    apply_nulls(&fields);
+    builder->AddRow(fields);
+    ++rows_read;
+  }
+  if (!error.ok()) return error;
+
+  if (builder == nullptr) {
+    if (column_names.empty()) {
+      return Status::ParseError("empty input");
+    }
+    if (static_cast<int>(column_names.size()) > ColumnSet::kMaxColumns) {
+      return Status::InvalidArgument(
+          "too many columns: " + std::to_string(column_names.size()));
+    }
+    storage.emplace(column_names, name);
+    builder = &*storage;
+  }
+  return std::move(*builder).Build();
+}
+
+Result<Relation> CsvReader::ReadFile(const std::string& path,
+                                     const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("error reading " + path);
+  return ReadString(buffer.str(), options, path);
+}
+
+std::string CsvWriter::ToString(const Relation& relation,
+                                const CsvOptions& options) {
+  std::string out;
+  for (int c = 0; c < relation.NumColumns(); ++c) {
+    if (c > 0) out += options.separator;
+    AppendField(relation.ColumnName(c), options, &out);
+  }
+  out += '\n';
+  for (RowId row = 0; row < relation.NumRows(); ++row) {
+    for (int c = 0; c < relation.NumColumns(); ++c) {
+      if (c > 0) out += options.separator;
+      AppendField(relation.Value(row, c), options, &out);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status CsvWriter::WriteFile(const Relation& relation, const std::string& path,
+                            const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot create " + path);
+  out << ToString(relation, options);
+  if (!out) return Status::IoError("error writing " + path);
+  return Status::Ok();
+}
+
+}  // namespace muds

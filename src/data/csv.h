@@ -1,0 +1,71 @@
+#ifndef MUDS_DATA_CSV_H_
+#define MUDS_DATA_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "data/relation.h"
+
+namespace muds {
+
+/// How cells equal to `null_token` compare during profiling. The choice
+/// changes which dependencies hold — a classic data-profiling semantics
+/// switch (Metanome exposes the same two modes).
+enum class NullSemantics {
+  /// NULL = NULL: all null cells carry one shared value (the default; what
+  /// plain string comparison does anyway).
+  kNullEqual,
+  /// NULL ≠ NULL: every null cell is distinct from every other cell, so
+  /// nulls never witness a duplicate (UCCs get easier) and never violate
+  /// an FD by agreeing on the left-hand side.
+  kNullUnequal,
+};
+
+/// CSV parsing options.
+struct CsvOptions {
+  char separator = ',';
+  char quote = '"';
+  /// If true, the first record names the columns; otherwise columns are
+  /// named "col0", "col1", ....
+  bool has_header = true;
+  /// Stop after this many data rows (<0 = read everything). Lets benches
+  /// load row prefixes the way the paper's row-scalability experiment does.
+  int64_t max_rows = -1;
+  /// Cells equal to this token are treated as NULL under `nulls`. The
+  /// empty default means empty cells are the nulls.
+  std::string null_token;
+  NullSemantics nulls = NullSemantics::kNullEqual;
+};
+
+/// Parses RFC-4180-style CSV: quoted fields may contain separators,
+/// newlines, and doubled quotes. Every record must have the same arity as
+/// the header; a mismatch is a ParseError naming the record number.
+class CsvReader {
+ public:
+  /// Parses an in-memory CSV document.
+  static Result<Relation> ReadString(std::string_view text,
+                                     const CsvOptions& options = {},
+                                     std::string name = "relation");
+
+  /// Reads and parses a CSV file. The relation is named after the path.
+  static Result<Relation> ReadFile(const std::string& path,
+                                   const CsvOptions& options = {});
+};
+
+/// Writes a relation back out as CSV (quoting only where necessary).
+class CsvWriter {
+ public:
+  /// Serializes `relation` with a header row.
+  static std::string ToString(const Relation& relation,
+                              const CsvOptions& options = {});
+
+  /// Writes `relation` to `path`. Fails with IoError if the file cannot be
+  /// created.
+  static Status WriteFile(const Relation& relation, const std::string& path,
+                          const CsvOptions& options = {});
+};
+
+}  // namespace muds
+
+#endif  // MUDS_DATA_CSV_H_

@@ -1,0 +1,32 @@
+#include "data/metadata.h"
+
+#include <algorithm>
+
+namespace muds {
+
+void Canonicalize(std::vector<Ind>* inds) {
+  std::sort(inds->begin(), inds->end());
+  inds->erase(std::unique(inds->begin(), inds->end()), inds->end());
+}
+
+void Canonicalize(std::vector<Fd>* fds) {
+  std::sort(fds->begin(), fds->end());
+  fds->erase(std::unique(fds->begin(), fds->end()), fds->end());
+}
+
+void Canonicalize(std::vector<ColumnSet>* sets) {
+  std::sort(sets->begin(), sets->end());
+  sets->erase(std::unique(sets->begin(), sets->end()), sets->end());
+}
+
+std::string ToString(const Ind& ind, const std::vector<std::string>& names) {
+  return names[static_cast<size_t>(ind.dependent)] + " <= " +
+         names[static_cast<size_t>(ind.referenced)];
+}
+
+std::string ToString(const Fd& fd, const std::vector<std::string>& names) {
+  return fd.lhs.ToString(names) + " -> " +
+         names[static_cast<size_t>(fd.rhs)];
+}
+
+}  // namespace muds

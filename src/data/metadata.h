@@ -1,0 +1,56 @@
+#ifndef MUDS_DATA_METADATA_H_
+#define MUDS_DATA_METADATA_H_
+
+#include <string>
+#include <vector>
+
+#include "setops/column_set.h"
+
+namespace muds {
+
+/// A unary inclusion dependency: every value of column `dependent` also
+/// occurs in column `referenced` (§2.1).
+struct Ind {
+  int dependent = 0;
+  int referenced = 0;
+
+  friend bool operator==(const Ind& a, const Ind& b) {
+    return a.dependent == b.dependent && a.referenced == b.referenced;
+  }
+  friend bool operator<(const Ind& a, const Ind& b) {
+    return a.dependent != b.dependent ? a.dependent < b.dependent
+                                      : a.referenced < b.referenced;
+  }
+};
+
+/// A functional dependency lhs → rhs with a single right-hand side attribute
+/// (§2.3). A constant column yields the minimal FD with an empty lhs.
+struct Fd {
+  ColumnSet lhs;
+  int rhs = 0;
+
+  friend bool operator==(const Fd& a, const Fd& b) {
+    return a.rhs == b.rhs && a.lhs == b.lhs;
+  }
+  friend bool operator<(const Fd& a, const Fd& b) {
+    return a.rhs != b.rhs ? a.rhs < b.rhs : a.lhs < b.lhs;
+  }
+};
+
+/// A unique column combination is just a set of columns; minimal UCCs are
+/// returned as sorted vectors of ColumnSet.
+using Ucc = ColumnSet;
+
+/// Sorts and removes duplicates, giving every algorithm a canonical output
+/// order for comparison in tests.
+void Canonicalize(std::vector<Ind>* inds);
+void Canonicalize(std::vector<Fd>* fds);
+void Canonicalize(std::vector<ColumnSet>* sets);
+
+/// Rendering helpers ("A ⊆ B", "AB → C", "{A,B}") using column names.
+std::string ToString(const Ind& ind, const std::vector<std::string>& names);
+std::string ToString(const Fd& fd, const std::vector<std::string>& names);
+
+}  // namespace muds
+
+#endif  // MUDS_DATA_METADATA_H_

@@ -1,0 +1,57 @@
+#include "data/preprocess.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace muds {
+
+namespace {
+
+// Hashes a row of dictionary codes.
+struct RowHasher {
+  const Relation* relation;
+
+  size_t operator()(RowId row) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (int c = 0; c < relation->NumColumns(); ++c) {
+      h ^= static_cast<uint64_t>(relation->Code(row, c));
+      h *= 0x100000001b3ULL;
+      h ^= h >> 29;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+struct RowEq {
+  const Relation* relation;
+
+  bool operator()(RowId a, RowId b) const {
+    for (int c = 0; c < relation->NumColumns(); ++c) {
+      if (relation->Code(a, c) != relation->Code(b, c)) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+DeduplicateResult DeduplicateRows(const Relation& relation) {
+  std::unordered_set<RowId, RowHasher, RowEq> seen(
+      /*bucket_count=*/static_cast<size_t>(relation.NumRows()) * 2 + 16,
+      RowHasher{&relation}, RowEq{&relation});
+  std::vector<RowId> keep;
+  keep.reserve(static_cast<size_t>(relation.NumRows()));
+  for (RowId row = 0; row < relation.NumRows(); ++row) {
+    if (seen.insert(row).second) keep.push_back(row);
+  }
+  const int64_t removed =
+      static_cast<int64_t>(relation.NumRows()) -
+      static_cast<int64_t>(keep.size());
+  if (removed == 0) {
+    // Avoid rebuilding dictionaries when nothing changed.
+    return DeduplicateResult{relation, 0};
+  }
+  return DeduplicateResult{relation.SelectRows(keep), removed};
+}
+
+}  // namespace muds

@@ -1,0 +1,28 @@
+#ifndef MUDS_DATA_PREPROCESS_H_
+#define MUDS_DATA_PREPROCESS_H_
+
+#include <cstdint>
+
+#include "data/relation.h"
+
+namespace muds {
+
+/// Result of duplicate-row removal.
+struct DeduplicateResult {
+  Relation relation;
+  int64_t duplicates_removed = 0;
+};
+
+/// Removes duplicate rows, keeping the first occurrence of each distinct
+/// row, in input order.
+///
+/// §3 of the paper: "If the input dataset contains two identical rows ...
+/// it cannot contain any UCC and, hence, most inter-task pruning rules would
+/// not apply. Therefore, we assume that duplicate records ... have been
+/// removed in a preprocessing step." The Profiler facade applies this before
+/// every UCC/FD discovery; INDs are value-based and unaffected.
+DeduplicateResult DeduplicateRows(const Relation& relation);
+
+}  // namespace muds
+
+#endif  // MUDS_DATA_PREPROCESS_H_

@@ -1,0 +1,125 @@
+#include "data/relation.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace muds {
+
+namespace {
+
+// Sorts the distinct values of `raw` into a dictionary and rewrites the
+// column as codes into it.
+Column EncodeColumn(const std::vector<std::string>& raw) {
+  Column column;
+  column.dictionary = raw;
+  std::sort(column.dictionary.begin(), column.dictionary.end());
+  column.dictionary.erase(
+      std::unique(column.dictionary.begin(), column.dictionary.end()),
+      column.dictionary.end());
+
+  std::unordered_map<std::string, int32_t> code_of;
+  code_of.reserve(column.dictionary.size() * 2);
+  for (size_t i = 0; i < column.dictionary.size(); ++i) {
+    code_of.emplace(column.dictionary[i], static_cast<int32_t>(i));
+  }
+  column.codes.reserve(raw.size());
+  for (const std::string& value : raw) {
+    column.codes.push_back(code_of.at(value));
+  }
+  return column;
+}
+
+}  // namespace
+
+Relation Relation::FromRows(std::vector<std::string> column_names,
+                            const std::vector<std::vector<std::string>>& rows,
+                            std::string name) {
+  RelationBuilder builder(std::move(column_names), std::move(name));
+  for (const auto& row : rows) builder.AddRow(row);
+  return std::move(builder).Build();
+}
+
+Relation::Relation(std::string name, std::vector<std::string> column_names,
+                   std::vector<Column> columns, RowId num_rows)
+    : name_(std::move(name)),
+      column_names_(std::move(column_names)),
+      columns_(std::move(columns)),
+      num_rows_(num_rows) {
+  MUDS_CHECK(column_names_.size() == columns_.size());
+  MUDS_CHECK(static_cast<int>(columns_.size()) <= ColumnSet::kMaxColumns);
+  for (const Column& column : columns_) {
+    MUDS_CHECK(static_cast<RowId>(column.codes.size()) == num_rows_);
+  }
+}
+
+ColumnSet Relation::ActiveColumns() const {
+  ColumnSet active;
+  for (int c = 0; c < NumColumns(); ++c) {
+    if (!IsConstantColumn(c)) active.Add(c);
+  }
+  return active;
+}
+
+Relation Relation::SelectRows(const std::vector<RowId>& rows) const {
+  std::vector<Column> new_columns;
+  new_columns.reserve(columns_.size());
+  for (const Column& column : columns_) {
+    std::vector<std::string> raw;
+    raw.reserve(rows.size());
+    for (RowId row : rows) {
+      MUDS_CHECK(row >= 0 && row < num_rows_);
+      raw.push_back(
+          column.dictionary[static_cast<size_t>(
+              column.codes[static_cast<size_t>(row)])]);
+    }
+    new_columns.push_back(EncodeColumn(raw));
+  }
+  return Relation(name_, column_names_, std::move(new_columns),
+                  static_cast<RowId>(rows.size()));
+}
+
+Relation Relation::SelectColumns(const std::vector<int>& columns) const {
+  std::vector<std::string> names;
+  std::vector<Column> new_columns;
+  names.reserve(columns.size());
+  new_columns.reserve(columns.size());
+  for (int c : columns) {
+    MUDS_CHECK(c >= 0 && c < NumColumns());
+    names.push_back(column_names_[static_cast<size_t>(c)]);
+    new_columns.push_back(columns_[static_cast<size_t>(c)]);
+  }
+  return Relation(name_, std::move(names), std::move(new_columns), num_rows_);
+}
+
+std::vector<std::string> Relation::Row(RowId row) const {
+  std::vector<std::string> out;
+  out.reserve(columns_.size());
+  for (int c = 0; c < NumColumns(); ++c) out.push_back(Value(row, c));
+  return out;
+}
+
+RelationBuilder::RelationBuilder(std::vector<std::string> column_names,
+                                 std::string name)
+    : name_(std::move(name)), column_names_(std::move(column_names)) {
+  MUDS_CHECK(static_cast<int>(column_names_.size()) <=
+             ColumnSet::kMaxColumns);
+  values_.resize(column_names_.size());
+}
+
+void RelationBuilder::AddRow(const std::vector<std::string>& values) {
+  MUDS_CHECK_MSG(values.size() == values_.size(),
+                 "row arity does not match the schema");
+  for (size_t c = 0; c < values.size(); ++c) values_[c].push_back(values[c]);
+}
+
+Relation RelationBuilder::Build() && {
+  const RowId num_rows = NumRows();
+  std::vector<Column> columns;
+  columns.reserve(values_.size());
+  for (const auto& raw : values_) columns.push_back(EncodeColumn(raw));
+  return Relation(std::move(name_), std::move(column_names_),
+                  std::move(columns), num_rows);
+}
+
+}  // namespace muds

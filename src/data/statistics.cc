@@ -1,0 +1,120 @@
+#include "data/statistics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace muds {
+
+namespace {
+
+bool IsInteger(const std::string& value) {
+  if (value.empty()) return false;
+  size_t i = value[0] == '-' || value[0] == '+' ? 1 : 0;
+  if (i == value.size()) return false;
+  for (; i < value.size(); ++i) {
+    if (value[i] < '0' || value[i] > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<ColumnStatistics> ComputeStatistics(const Relation& relation) {
+  std::vector<ColumnStatistics> all;
+  all.reserve(static_cast<size_t>(relation.NumColumns()));
+  const int64_t rows = relation.NumRows();
+
+  for (int c = 0; c < relation.NumColumns(); ++c) {
+    const Column& column = relation.GetColumn(c);
+    ColumnStatistics stats;
+    stats.name = relation.ColumnName(c);
+    stats.cardinality = column.Cardinality();
+    stats.distinctness =
+        rows == 0 ? 0.0
+                  : static_cast<double>(stats.cardinality) /
+                        static_cast<double>(rows);
+
+    // Per-distinct-value frequencies from the codes.
+    std::vector<int64_t> counts(column.dictionary.size(), 0);
+    for (int32_t code : column.codes) {
+      ++counts[static_cast<size_t>(code)];
+    }
+
+    // The dictionary is sorted, so extremes are its ends.
+    if (!column.dictionary.empty()) {
+      stats.min_value = column.dictionary.front();
+      stats.max_value = column.dictionary.back();
+      stats.all_integer = true;
+    }
+    int64_t total_length = 0;
+    stats.min_length = column.dictionary.empty()
+                           ? 0
+                           : static_cast<int64_t>(
+                                 column.dictionary.front().size());
+    for (size_t i = 0; i < column.dictionary.size(); ++i) {
+      const std::string& value = column.dictionary[i];
+      const int64_t length = static_cast<int64_t>(value.size());
+      total_length += length * counts[i];
+      stats.min_length = std::min(stats.min_length, length);
+      stats.max_length = std::max(stats.max_length, length);
+      if (value.empty()) stats.empty_values = counts[i];
+      if (counts[i] > stats.most_frequent_count) {
+        stats.most_frequent_count = counts[i];
+        stats.most_frequent_value = value;
+      }
+      if (!value.empty() && !IsInteger(value)) stats.all_integer = false;
+    }
+    stats.mean_length =
+        rows == 0 ? 0.0
+                  : static_cast<double>(total_length) /
+                        static_cast<double>(rows);
+    all.push_back(std::move(stats));
+  }
+  return all;
+}
+
+std::string FormatStatistics(const std::vector<ColumnStatistics>& stats) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-20s %10s %9s %7s %6s %-12s %-12s\n",
+                "column", "distinct", "distinct%", "empty", "int?", "min",
+                "max");
+  out += line;
+  for (const ColumnStatistics& s : stats) {
+    std::snprintf(line, sizeof(line),
+                  "%-20.20s %10lld %8.1f%% %7lld %6s %-12.12s %-12.12s\n",
+                  s.name.c_str(), static_cast<long long>(s.cardinality),
+                  s.distinctness * 100.0,
+                  static_cast<long long>(s.empty_values),
+                  s.all_integer ? "yes" : "no", s.min_value.c_str(),
+                  s.max_value.c_str());
+    out += line;
+  }
+  return out;
+}
+
+Relation SampleRows(const Relation& relation, RowId sample_size,
+                    uint64_t seed) {
+  if (sample_size >= relation.NumRows()) return relation;
+  // Partial Fisher-Yates over the row ids.
+  std::vector<RowId> rows(static_cast<size_t>(relation.NumRows()));
+  for (RowId r = 0; r < relation.NumRows(); ++r) {
+    rows[static_cast<size_t>(r)] = r;
+  }
+  Rng rng(seed);
+  std::vector<RowId> picked;
+  picked.reserve(static_cast<size_t>(sample_size));
+  for (RowId i = 0; i < sample_size; ++i) {
+    const size_t j = static_cast<size_t>(i) +
+                     static_cast<size_t>(rng.NextBelow(
+                         rows.size() - static_cast<size_t>(i)));
+    std::swap(rows[static_cast<size_t>(i)], rows[j]);
+    picked.push_back(rows[static_cast<size_t>(i)]);
+  }
+  std::sort(picked.begin(), picked.end());  // Preserve original row order.
+  return relation.SelectRows(picked);
+}
+
+}  // namespace muds

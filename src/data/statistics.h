@@ -1,0 +1,53 @@
+#ifndef MUDS_DATA_STATISTICS_H_
+#define MUDS_DATA_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/relation.h"
+
+namespace muds {
+
+/// Single-column statistics — the "statistical information" half of data
+/// profiling (the paper's opening definition: "examining an unknown
+/// dataset for its structure and statistical information").
+struct ColumnStatistics {
+  std::string name;
+  /// Number of distinct values.
+  int64_t cardinality = 0;
+  /// cardinality / rows in (0, 1]; 1 means the column is a key.
+  double distinctness = 0.0;
+  /// Number of empty-string cells (the CSV notion of missing).
+  int64_t empty_values = 0;
+  /// Lexicographic extremes (empty strings for an empty relation).
+  std::string min_value;
+  std::string max_value;
+  /// Most frequent value and its count (first lexicographically on ties).
+  std::string most_frequent_value;
+  int64_t most_frequent_count = 0;
+  /// Value-length summary.
+  int64_t min_length = 0;
+  int64_t max_length = 0;
+  double mean_length = 0.0;
+  /// True if every non-empty value parses as a (signed) integer.
+  bool all_integer = false;
+};
+
+/// Computes statistics for every column in one pass over the dictionary
+/// encoding (values are visited per distinct value, counts via the codes).
+std::vector<ColumnStatistics> ComputeStatistics(const Relation& relation);
+
+/// Renders a fixed-width summary table (one row per column).
+std::string FormatStatistics(const std::vector<ColumnStatistics>& stats);
+
+/// Uniform row sample without replacement (deterministic in `seed`);
+/// returns the relation itself if `sample_size` >= rows. Sampled profiling
+/// is how CORDS-style approximate profilers (§7) trade exactness for
+/// speed.
+Relation SampleRows(const Relation& relation, RowId sample_size,
+                    uint64_t seed);
+
+}  // namespace muds
+
+#endif  // MUDS_DATA_STATISTICS_H_

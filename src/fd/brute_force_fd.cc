@@ -1,0 +1,52 @@
+#include "fd/brute_force_fd.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "fd/fd_util.h"
+#include "pli/pli_cache.h"
+#include "setops/antichain.h"
+
+namespace muds {
+
+std::vector<Fd> BruteForceFd::Discover(const Relation& relation) {
+  std::vector<Fd> fds = ConstantColumnFds(relation);
+
+  PliCache cache(relation);
+  const std::vector<int> active = relation.ActiveColumns().ToIndices();
+  const int n = static_cast<int>(active.size());
+  MUDS_CHECK_MSG(n <= 20, "BruteForceFd is for small test relations only");
+
+  for (int rhs : active) {
+    MinimalSetCollection minimal_lhs;
+    // Level-wise over subsets of active \ {rhs}, smallest first.
+    std::vector<std::vector<int>> level = {{}};
+    for (int size = 1; size <= n - 1; ++size) {
+      std::vector<std::vector<int>> next;
+      for (const std::vector<int>& base : level) {
+        const int first = base.empty() ? 0 : base.back() + 1;
+        for (int i = first; i < n; ++i) {
+          if (active[static_cast<size_t>(i)] == rhs) continue;
+          std::vector<int> candidate = base;
+          candidate.push_back(i);
+          ColumnSet lhs;
+          for (int j : candidate) lhs.Add(active[static_cast<size_t>(j)]);
+          if (minimal_lhs.ContainsSubsetOf(lhs)) continue;
+          if (CheckFd(&cache, lhs, rhs)) {
+            minimal_lhs.Insert(lhs);
+          } else {
+            next.push_back(std::move(candidate));
+          }
+        }
+      }
+      level = std::move(next);
+    }
+    for (const ColumnSet& lhs : minimal_lhs.CollectAll()) {
+      fds.push_back(Fd{lhs, rhs});
+    }
+  }
+  Canonicalize(&fds);
+  return fds;
+}
+
+}  // namespace muds

@@ -1,0 +1,23 @@
+#ifndef MUDS_FD_BRUTE_FORCE_FD_H_
+#define MUDS_FD_BRUTE_FORCE_FD_H_
+
+#include <vector>
+
+#include "data/metadata.h"
+#include "data/relation.h"
+
+namespace muds {
+
+/// Exhaustive minimal-FD discovery: per right-hand side, level-wise
+/// enumeration of all left-hand side candidates with subset pruning only.
+/// Exponential; the correctness oracle for the differential tests.
+class BruteForceFd {
+ public:
+  /// Returns all minimal FDs (including ∅ → A for constant columns) in
+  /// canonical order. Checks that the relation is small enough.
+  static std::vector<Fd> Discover(const Relation& relation);
+};
+
+}  // namespace muds
+
+#endif  // MUDS_FD_BRUTE_FORCE_FD_H_

@@ -1,0 +1,42 @@
+#ifndef MUDS_FD_FD_UTIL_H_
+#define MUDS_FD_FD_UTIL_H_
+
+#include <vector>
+
+#include "data/metadata.h"
+#include "data/relation.h"
+#include "pli/pli_cache.h"
+
+namespace muds {
+
+/// Output of a full FD discovery run. TANE and FUN discover the minimal
+/// UCCs (keys) as a byproduct of their key pruning; Holistic FUN (§3.2) is
+/// exactly FUN returning that byproduct instead of dropping it.
+struct FdDiscoveryResult {
+  std::vector<Fd> fds;
+  std::vector<ColumnSet> uccs;
+  /// Number of partition-based FD validity tests performed.
+  int64_t fd_checks = 0;
+  /// Number of PLI intersect operations performed.
+  int64_t pli_intersects = 0;
+};
+
+/// The minimal FDs contributed by constant columns: ∅ → A for every column
+/// A with at most one distinct value. All FD algorithms in this library
+/// handle constant columns through this shared preprocessing (see DESIGN.md,
+/// "Semantics decisions") and run their lattice search over
+/// Relation::ActiveColumns() only.
+std::vector<Fd> ConstantColumnFds(const Relation& relation);
+
+/// Partition-refinement FD check (Lemma 1): true iff lhs → rhs holds on the
+/// instance, i.e. the PLI of lhs refines column rhs. `lhs` may be empty.
+bool CheckFd(PliCache* cache, const ColumnSet& lhs, int rhs);
+
+/// Verifies an FD by first principles (hashing lhs projections); used by
+/// tests to validate algorithm outputs independently of the PLI machinery.
+bool CheckFdByDefinition(const Relation& relation, const ColumnSet& lhs,
+                         int rhs);
+
+}  // namespace muds
+
+#endif  // MUDS_FD_FD_UTIL_H_

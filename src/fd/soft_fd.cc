@@ -1,0 +1,112 @@
+#include "fd/soft_fd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "data/statistics.h"
+
+namespace muds {
+
+std::string ToString(const SoftFd& fd,
+                     const std::vector<std::string>& names) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " (strength %.3f, V %.3f)", fd.strength,
+                fd.cramers_v);
+  return names[static_cast<size_t>(fd.lhs)] + " ~> " +
+         names[static_cast<size_t>(fd.rhs)] + buf;
+}
+
+std::vector<SoftFd> Cords::Discover(const Relation& relation,
+                                    const Options& options, Stats* stats) {
+  const Relation sample =
+      SampleRows(relation, options.sample_size, options.seed);
+  const RowId rows = sample.NumRows();
+  if (stats != nullptr) stats->sampled_rows = rows;
+
+  std::vector<SoftFd> result;
+  if (rows == 0) return result;
+
+  for (int a = 0; a < sample.NumColumns(); ++a) {
+    const int64_t card_a = sample.Cardinality(a);
+    if (card_a <= 1) continue;  // Constant lhs: handled by exact ∅-FDs.
+    for (int b = 0; b < sample.NumColumns(); ++b) {
+      if (a == b || sample.Cardinality(b) <= 1) continue;
+      if (stats != nullptr) ++stats->pairs_analyzed;
+
+      // Contingency counts keyed by (code(a), code(b)).
+      const int64_t card_b = sample.Cardinality(b);
+      std::unordered_map<int64_t, int64_t> cells;
+      std::vector<int64_t> row_totals(static_cast<size_t>(card_a), 0);
+      std::vector<int64_t> col_totals(static_cast<size_t>(card_b), 0);
+      for (RowId r = 0; r < rows; ++r) {
+        const int64_t ca = sample.Code(r, a);
+        const int64_t cb = sample.Code(r, b);
+        ++cells[ca * card_b + cb];
+        ++row_totals[static_cast<size_t>(ca)];
+        ++col_totals[static_cast<size_t>(cb)];
+      }
+
+      // Soft-FD strength: rows explained by the majority rhs per lhs value.
+      std::vector<int64_t> best(static_cast<size_t>(card_a), 0);
+      for (const auto& [key, count] : cells) {
+        auto& slot = best[static_cast<size_t>(key / card_b)];
+        slot = std::max(slot, count);
+      }
+      int64_t explained = 0;
+      for (int64_t value : best) explained += value;
+      const double strength =
+          static_cast<double>(explained) / static_cast<double>(rows);
+      if (strength < options.min_strength) continue;
+
+      // Cramér's V from the chi-squared statistic.
+      double chi2 = 0.0;
+      for (const auto& [key, count] : cells) {
+        const double expected =
+            static_cast<double>(
+                row_totals[static_cast<size_t>(key / card_b)]) *
+            static_cast<double>(
+                col_totals[static_cast<size_t>(key % card_b)]) /
+            static_cast<double>(rows);
+        const double diff = static_cast<double>(count) - expected;
+        chi2 += diff * diff / expected;
+      }
+      // Zero cells contribute only through the expected mass they miss;
+      // adding it keeps chi-squared exact.
+      double present_expected = 0.0;
+      for (const auto& [key, count] : cells) {
+        (void)count;
+        present_expected +=
+            static_cast<double>(
+                row_totals[static_cast<size_t>(key / card_b)]) *
+            static_cast<double>(
+                col_totals[static_cast<size_t>(key % card_b)]) /
+            static_cast<double>(rows);
+      }
+      chi2 += static_cast<double>(rows) - present_expected;
+      const int64_t k = std::min(card_a, card_b) - 1;
+      const double v =
+          k <= 0 ? 0.0
+                 : std::sqrt(std::max(
+                       0.0, chi2 / (static_cast<double>(rows) *
+                                    static_cast<double>(k))));
+
+      SoftFd fd;
+      fd.lhs = a;
+      fd.rhs = b;
+      fd.strength = strength;
+      fd.cramers_v = std::min(1.0, v);
+      result.push_back(fd);
+    }
+  }
+
+  std::sort(result.begin(), result.end(),
+            [](const SoftFd& x, const SoftFd& y) {
+              if (x.strength != y.strength) return x.strength > y.strength;
+              if (x.lhs != y.lhs) return x.lhs < y.lhs;
+              return x.rhs < y.rhs;
+            });
+  return result;
+}
+
+}  // namespace muds

@@ -1,0 +1,65 @@
+#ifndef MUDS_FD_SOFT_FD_H_
+#define MUDS_FD_SOFT_FD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/relation.h"
+
+namespace muds {
+
+/// A soft (approximate) unary functional dependency A → B: determining B
+/// from A succeeds for `strength` of the rows.
+struct SoftFd {
+  int lhs = 0;
+  int rhs = 0;
+  /// Fraction of rows kept by the best per-lhs-value rhs assignment
+  /// (1.0 = exact FD on the profiled instance).
+  double strength = 0.0;
+  /// Cramér's V of the column pair in [0, 1] (0 = independent,
+  /// 1 = perfectly associated) — CORDS' correlation signal.
+  double cramers_v = 0.0;
+
+  friend bool operator==(const SoftFd& a, const SoftFd& b) {
+    return a.lhs == b.lhs && a.rhs == b.rhs;
+  }
+};
+
+std::string ToString(const SoftFd& fd, const std::vector<std::string>& names);
+
+/// CORDS-style detection of soft FDs and correlations between column pairs
+/// (Ilyas et al.; §7: "capable of identifying various correlations and
+/// soft FDs. As the algorithm's identification process builds upon
+/// sampling techniques, it only approximates the real result").
+///
+/// For every ordered column pair the contingency table of a row sample
+/// yields (a) the soft-FD strength — the fraction of sampled rows
+/// explained by mapping each lhs value to its majority rhs value — and
+/// (b) Cramér's V as the correlation measure. Pairs at or above
+/// `min_strength` are reported.
+class Cords {
+ public:
+  struct Options {
+    Options() : sample_size(2000), min_strength(0.9), seed(1) {}
+    /// Rows sampled before pair analysis (the approximation knob).
+    RowId sample_size;
+    /// Minimum soft-FD strength to report, in (0, 1].
+    double min_strength;
+    uint64_t seed;
+  };
+
+  struct Stats {
+    int64_t pairs_analyzed = 0;
+    RowId sampled_rows = 0;
+  };
+
+  /// Returns the soft FDs ordered by falling strength (ties: lhs, rhs).
+  static std::vector<SoftFd> Discover(const Relation& relation,
+                                      const Options& options = Options(),
+                                      Stats* stats = nullptr);
+};
+
+}  // namespace muds
+
+#endif  // MUDS_FD_SOFT_FD_H_

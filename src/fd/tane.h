@@ -1,0 +1,27 @@
+#ifndef MUDS_FD_TANE_H_
+#define MUDS_FD_TANE_H_
+
+#include "data/relation.h"
+#include "fd/fd_util.h"
+
+namespace muds {
+
+/// TANE (Huhtala et al., referenced throughout §2.3/§6): level-wise,
+/// bottom-up FD discovery over stripped partitions.
+///
+/// Each lattice node X carries a candidate right-hand-side set C+(X); FDs
+/// X\{A} → A are validated by comparing partition cardinalities (Lemma 1),
+/// and three prunings shrink the lattice: right-hand-side pruning (empty
+/// C+), minimality pruning, and key pruning (supersets of keys are never
+/// left-hand sides of minimal FDs). Keys encountered along the way are the
+/// minimal UCCs, returned as a byproduct.
+///
+/// Expects a duplicate-row-free relation (the Profiler guarantees this).
+class Tane {
+ public:
+  static FdDiscoveryResult Discover(const Relation& relation);
+};
+
+}  // namespace muds
+
+#endif  // MUDS_FD_TANE_H_

@@ -1,0 +1,92 @@
+#include "ind/spider.h"
+
+#include <queue>
+#include <string_view>
+
+namespace muds {
+
+std::vector<Ind> Spider::Discover(const Relation& relation) {
+  const int n = relation.NumColumns();
+  std::vector<ColumnSet> candidates(static_cast<size_t>(n),
+                                    ColumnSet::FirstN(n));
+
+  // Cursor of each column into its sorted duplicate-free dictionary.
+  struct Cursor {
+    std::string_view value;
+    int column;
+  };
+  struct CursorGreater {
+    // Min-heap ordering.
+    bool operator()(const Cursor& a, const Cursor& b) const {
+      return a.value != b.value ? a.value > b.value : a.column > b.column;
+    }
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, CursorGreater> heap;
+  std::vector<size_t> position(static_cast<size_t>(n), 0);
+  for (int c = 0; c < n; ++c) {
+    const auto& dict = relation.GetColumn(c).dictionary;
+    if (!dict.empty()) heap.push(Cursor{dict[0], c});
+  }
+
+  while (!heap.empty()) {
+    // Collect the group of attributes that all contain the smallest value.
+    const std::string_view value = heap.top().value;
+    ColumnSet group;
+    while (!heap.empty() && heap.top().value == value) {
+      group.Add(heap.top().column);
+      heap.pop();
+    }
+    // Attributes holding this value can only be included in one another.
+    for (int c = group.First(); c >= 0; c = group.NextAtLeast(c + 1)) {
+      candidates[static_cast<size_t>(c)] =
+          candidates[static_cast<size_t>(c)].Intersect(group);
+      const auto& dict = relation.GetColumn(c).dictionary;
+      if (++position[static_cast<size_t>(c)] < dict.size()) {
+        heap.push(Cursor{dict[position[static_cast<size_t>(c)]], c});
+      }
+    }
+  }
+
+  std::vector<Ind> inds;
+  for (int a = 0; a < n; ++a) {
+    const ColumnSet& refs = candidates[static_cast<size_t>(a)];
+    for (int b = refs.First(); b >= 0; b = refs.NextAtLeast(b + 1)) {
+      if (b != a) inds.push_back(Ind{a, b});
+    }
+  }
+  Canonicalize(&inds);
+  return inds;
+}
+
+std::vector<Ind> BruteForceInd::Discover(const Relation& relation) {
+  const int n = relation.NumColumns();
+  std::vector<Ind> inds;
+  for (int a = 0; a < n; ++a) {
+    const auto& da = relation.GetColumn(a).dictionary;
+    for (int b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const auto& db = relation.GetColumn(b).dictionary;
+      // Both dictionaries are sorted: check inclusion by merging.
+      size_t i = 0;
+      size_t j = 0;
+      bool included = true;
+      while (i < da.size()) {
+        if (j == db.size() || da[i] < db[j]) {
+          included = false;
+          break;
+        }
+        if (da[i] == db[j]) {
+          ++i;
+          ++j;
+        } else {
+          ++j;
+        }
+      }
+      if (included) inds.push_back(Ind{a, b});
+    }
+  }
+  Canonicalize(&inds);
+  return inds;
+}
+
+}  // namespace muds

@@ -1,0 +1,38 @@
+#ifndef MUDS_IND_SPIDER_H_
+#define MUDS_IND_SPIDER_H_
+
+#include <vector>
+
+#include "data/metadata.h"
+#include "data/relation.h"
+
+namespace muds {
+
+/// SPIDER (§2.1, Table 1): unary inclusion dependency discovery.
+///
+/// Phase 1 (sorting) is shared with the rest of the system: the relation's
+/// dictionary encoding already stores each column's duplicate-free values in
+/// sorted order — exactly the "duplicate-free value lists retrieved from the
+/// PLI construction mapping" sharing described in §3.
+///
+/// Phase 2 (comparison) merges all value lists simultaneously: at each step
+/// the group G of attributes holding the current smallest value can only be
+/// included in one another, so candidates[a] is intersected with G for every
+/// a in G. What survives when a column's list is exhausted are its INDs.
+class Spider {
+ public:
+  /// Returns all valid unary INDs a ⊆ b (a != b) within `relation`, in
+  /// canonical order.
+  static std::vector<Ind> Discover(const Relation& relation);
+};
+
+/// Quadratic reference implementation used as a correctness oracle in tests:
+/// checks each ordered column pair by merging sorted dictionaries.
+class BruteForceInd {
+ public:
+  static std::vector<Ind> Discover(const Relation& relation);
+};
+
+}  // namespace muds
+
+#endif  // MUDS_IND_SPIDER_H_

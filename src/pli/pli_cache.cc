@@ -1,0 +1,61 @@
+#include "pli/pli_cache.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace muds {
+
+PliCache::PliCache(const Relation& relation, size_t max_entries)
+    : relation_(&relation), max_entries_(max_entries) {
+  for (int c = 0; c < relation.NumColumns(); ++c) {
+    cache_.emplace(ColumnSet::Single(c),
+                   std::make_shared<Pli>(Pli::FromColumn(
+                       relation.GetColumn(c), relation.NumRows())));
+  }
+  cache_.emplace(ColumnSet(), std::make_shared<Pli>(
+                                  Pli::ForEmptySet(relation.NumRows())));
+  // The always-kept entries do not count against the cap.
+  max_entries_ += cache_.size();
+}
+
+std::shared_ptr<const Pli> PliCache::Get(const ColumnSet& columns) {
+  auto it = cache_.find(columns);
+  if (it != cache_.end()) return it->second;
+
+  // Build by intersecting the PLI of (columns minus its last column) with
+  // the last single-column PLI. This caches every prefix of the sorted
+  // column list, so related look-ups (the lattice walks probe neighbors)
+  // hit the cache.
+  std::vector<int> indices = columns.ToIndices();
+  MUDS_CHECK(!indices.empty());
+  ColumnSet prefix;
+  std::shared_ptr<const Pli> pli = cache_.at(ColumnSet::Single(indices[0]));
+  prefix.Add(indices[0]);
+  for (size_t i = 1; i < indices.size(); ++i) {
+    prefix.Add(indices[i]);
+    auto cached = cache_.find(prefix);
+    if (cached != cache_.end()) {
+      pli = cached->second;
+      continue;
+    }
+    const auto& single = cache_.at(ColumnSet::Single(indices[i]));
+    auto combined = std::make_shared<Pli>(pli->Intersect(*single));
+    ++num_intersects_;
+    if (cache_.size() < max_entries_) cache_.emplace(prefix, combined);
+    pli = std::move(combined);
+  }
+  return pli;
+}
+
+std::shared_ptr<const Pli> PliCache::GetIfCached(
+    const ColumnSet& columns) const {
+  auto it = cache_.find(columns);
+  return it == cache_.end() ? nullptr : it->second;
+}
+
+void PliCache::Put(const ColumnSet& columns, std::shared_ptr<const Pli> pli) {
+  if (cache_.size() < max_entries_) cache_.emplace(columns, std::move(pli));
+}
+
+}  // namespace muds

@@ -1,0 +1,65 @@
+#ifndef MUDS_PLI_PLI_CACHE_H_
+#define MUDS_PLI_PLI_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "data/relation.h"
+#include "pli/position_list_index.h"
+#include "setops/column_set.h"
+
+namespace muds {
+
+/// Cache of PLIs keyed by column set, shared across profiling tasks (the
+/// "holistic data structure" of §1): DUCC populates it while hunting UCCs
+/// and MUDS' FD phases reuse the entries for their refinement checks.
+///
+/// Single-column PLIs are built eagerly at construction; multi-column PLIs
+/// are built on demand by intersecting cached subsets.
+class PliCache {
+ public:
+  /// Builds the per-column PLIs of `relation`. The relation must outlive
+  /// the cache. `max_entries` bounds the number of cached multi-column
+  /// PLIs (single columns and the empty set are always kept); once the
+  /// bound is hit, derived PLIs are still returned but no longer stored.
+  explicit PliCache(const Relation& relation,
+                    size_t max_entries = kDefaultMaxEntries);
+
+  static constexpr size_t kDefaultMaxEntries = 1u << 20;
+
+  PliCache(const PliCache&) = delete;
+  PliCache& operator=(const PliCache&) = delete;
+
+  /// Returns the PLI for `columns`, building (and caching) it by
+  /// intersection if absent. `columns` may be empty.
+  std::shared_ptr<const Pli> Get(const ColumnSet& columns);
+
+  /// Returns the cached PLI for `columns`, or nullptr if not cached.
+  std::shared_ptr<const Pli> GetIfCached(const ColumnSet& columns) const;
+
+  /// Inserts an externally built PLI (e.g. from a traversal that combined
+  /// two cached entries itself).
+  void Put(const ColumnSet& columns, std::shared_ptr<const Pli> pli);
+
+  const Relation& relation() const { return *relation_; }
+
+  /// Number of cached entries (including single columns).
+  size_t Size() const { return cache_.size(); }
+
+  /// Total PLI intersect operations performed by this cache. The paper's
+  /// phase analysis (§6.4) names the PLI intersect as the dominant cost;
+  /// benches report this counter.
+  int64_t NumIntersects() const { return num_intersects_; }
+
+ private:
+  const Relation* relation_;
+  std::unordered_map<ColumnSet, std::shared_ptr<const Pli>, ColumnSetHash>
+      cache_;
+  size_t max_entries_;
+  int64_t num_intersects_ = 0;
+};
+
+}  // namespace muds
+
+#endif  // MUDS_PLI_PLI_CACHE_H_

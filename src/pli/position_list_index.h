@@ -1,0 +1,79 @@
+#ifndef MUDS_PLI_POSITION_LIST_INDEX_H_
+#define MUDS_PLI_POSITION_LIST_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/relation.h"
+
+namespace muds {
+
+/// Position list index (PLI), also called a stripped partition (§2.2).
+///
+/// A PLI for a column combination X lists, per distinct value of the
+/// projection on X, the row ids sharing that value — keeping only clusters
+/// of size >= 2 ("stripped"), because singleton clusters can never witness a
+/// duplicate (UCC check) or an FD violation (refinement check).
+///
+/// This is the data structure shared between the UCC and FD tasks in the
+/// holistic algorithms: it is built once per column while the input is read
+/// and then only ever intersected.
+class Pli {
+ public:
+  using Cluster = std::vector<RowId>;
+
+  /// Builds the PLI of a single column.
+  static Pli FromColumn(const Column& column, RowId num_rows);
+
+  /// PLI of the empty column combination: one cluster holding every row
+  /// (empty if the relation has fewer than two rows).
+  static Pli ForEmptySet(RowId num_rows);
+
+  Pli(std::vector<Cluster> clusters, RowId num_rows);
+
+  /// Intersects two PLIs: the PLI of X ∪ Y from the PLIs of X and Y,
+  /// via the probe-table method (pair-wise id-set intersection).
+  Pli Intersect(const Pli& other) const;
+
+  /// True if X functionally determines the column with the given codes
+  /// (Lemma 1 via direct refinement: every cluster of X is constant in the
+  /// column). Cheaper than a full Intersect when only validity is needed.
+  bool Refines(const Column& column) const;
+
+  /// True if the underlying column combination is a UCC: no duplicate
+  /// projections, i.e. no (stripped) cluster remains.
+  bool IsUnique() const { return clusters_.empty(); }
+
+  /// Number of stripped clusters.
+  int64_t NumClusters() const {
+    return static_cast<int64_t>(clusters_.size());
+  }
+
+  /// Number of rows that appear in some cluster (i.e. have a duplicate).
+  int64_t NumNonSingletonRows() const { return non_singleton_rows_; }
+
+  /// Number of distinct values of the projection — the cardinality |X|r that
+  /// drives FUN's partition-refinement test (Lemma 1).
+  int64_t DistinctCount() const {
+    return static_cast<int64_t>(num_rows_) - non_singleton_rows_ +
+           NumClusters();
+  }
+
+  RowId NumRows() const { return num_rows_; }
+
+  const std::vector<Cluster>& clusters() const { return clusters_; }
+
+  /// Fills `probe` (size num_rows) with the cluster id of each row, or -1
+  /// for rows in singleton clusters. Exposed for bulk FD checks.
+  void FillProbeTable(std::vector<int32_t>* probe) const;
+
+ private:
+  std::vector<Cluster> clusters_;
+  RowId num_rows_;
+  int64_t non_singleton_rows_;
+};
+
+}  // namespace muds
+
+#endif  // MUDS_PLI_POSITION_LIST_INDEX_H_

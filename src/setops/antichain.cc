@@ -1,0 +1,23 @@
+#include "setops/antichain.h"
+
+namespace muds {
+
+bool MinimalSetCollection::Insert(const ColumnSet& set) {
+  if (trie_.ContainsSubsetOf(set)) return false;
+  for (const ColumnSet& superset : trie_.CollectSupersetsOf(set)) {
+    trie_.Erase(superset);
+  }
+  trie_.Insert(set);
+  return true;
+}
+
+bool MaximalSetCollection::Insert(const ColumnSet& set) {
+  if (trie_.ContainsSupersetOf(set)) return false;
+  for (const ColumnSet& subset : trie_.CollectSubsetsOf(set)) {
+    trie_.Erase(subset);
+  }
+  trie_.Insert(set);
+  return true;
+}
+
+}  // namespace muds

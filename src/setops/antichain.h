@@ -1,0 +1,96 @@
+#ifndef MUDS_SETOPS_ANTICHAIN_H_
+#define MUDS_SETOPS_ANTICHAIN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "setops/column_set.h"
+#include "setops/set_trie.h"
+
+namespace muds {
+
+/// Maintains an antichain of minimal sets: inserting a set drops it if a
+/// stored subset already dominates it and evicts any stored supersets.
+/// Backed by a SetTrie, so subset/superset queries stay cheap.
+///
+/// DUCC keeps its minimal UCCs here; MUDS keeps minimal FD left-hand sides
+/// per right-hand side here.
+class MinimalSetCollection {
+ public:
+  /// Inserts `set` if no stored subset exists; evicts stored supersets.
+  /// Returns true if the set was inserted.
+  bool Insert(const ColumnSet& set);
+
+  /// True if exactly `set` is stored.
+  bool Contains(const ColumnSet& set) const { return trie_.Contains(set); }
+
+  /// True if a stored set is a subset of (or equal to) `set` — i.e. `set`
+  /// is "covered": it is one of the minimal sets or dominated by one.
+  bool ContainsSubsetOf(const ColumnSet& set) const {
+    return trie_.ContainsSubsetOf(set);
+  }
+
+  /// True if a stored set is a superset of (or equal to) `set`.
+  bool ContainsSupersetOf(const ColumnSet& set) const {
+    return trie_.ContainsSupersetOf(set);
+  }
+
+  /// All stored sets that are subsets of `set`.
+  std::vector<ColumnSet> CollectSubsetsOf(const ColumnSet& set) const {
+    return trie_.CollectSubsetsOf(set);
+  }
+
+  /// All stored sets that are supersets of `set` (the connector look-up).
+  std::vector<ColumnSet> CollectSupersetsOf(const ColumnSet& set) const {
+    return trie_.CollectSupersetsOf(set);
+  }
+
+  std::vector<ColumnSet> CollectAll() const { return trie_.CollectAll(); }
+
+  size_t Size() const { return trie_.Size(); }
+  bool IsEmpty() const { return trie_.IsEmpty(); }
+  void Clear() { trie_.Clear(); }
+
+ private:
+  SetTrie trie_;
+};
+
+/// Dual of MinimalSetCollection: keeps maximal sets only. DUCC keeps its
+/// maximal non-UCCs here; the per-right-hand-side FD walks keep maximal
+/// non-determinant left-hand sides here.
+class MaximalSetCollection {
+ public:
+  /// Inserts `set` if no stored superset exists; evicts stored subsets.
+  /// Returns true if the set was inserted.
+  bool Insert(const ColumnSet& set);
+
+  bool Contains(const ColumnSet& set) const { return trie_.Contains(set); }
+
+  /// True if a stored set is a superset of (or equal to) `set` — i.e. `set`
+  /// is covered by the antichain.
+  bool ContainsSupersetOf(const ColumnSet& set) const {
+    return trie_.ContainsSupersetOf(set);
+  }
+
+  bool ContainsSubsetOf(const ColumnSet& set) const {
+    return trie_.ContainsSubsetOf(set);
+  }
+
+  /// Finds one stored superset of `set` (a witness that `set` is covered).
+  bool FindSupersetOf(const ColumnSet& set, ColumnSet* out) const {
+    return trie_.FindSupersetOf(set, out);
+  }
+
+  std::vector<ColumnSet> CollectAll() const { return trie_.CollectAll(); }
+
+  size_t Size() const { return trie_.Size(); }
+  bool IsEmpty() const { return trie_.IsEmpty(); }
+  void Clear() { trie_.Clear(); }
+
+ private:
+  SetTrie trie_;
+};
+
+}  // namespace muds
+
+#endif  // MUDS_SETOPS_ANTICHAIN_H_

@@ -1,0 +1,35 @@
+#include "setops/column_set.h"
+
+namespace muds {
+
+std::string ColumnSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (int c = First(); c >= 0; c = NextAtLeast(c + 1)) {
+    if (!first) out += ",";
+    out += std::to_string(c);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+std::string ColumnSet::ToString(const std::vector<std::string>& names) const {
+  std::string out;
+  bool first = true;
+  for (int c = First(); c >= 0; c = NextAtLeast(c + 1)) {
+    if (!first && c >= static_cast<int>(names.size())) out += ",";
+    if (c < static_cast<int>(names.size())) {
+      // Single-letter names concatenate ("ABC"); longer names get separators.
+      if (!first && names[c].size() > 1) out += ",";
+      out += names[c];
+    } else {
+      out += std::to_string(c);
+    }
+    first = false;
+  }
+  if (out.empty()) out = "{}";
+  return out;
+}
+
+}  // namespace muds

@@ -1,0 +1,215 @@
+#ifndef MUDS_SETOPS_COLUMN_SET_H_
+#define MUDS_SETOPS_COLUMN_SET_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace muds {
+
+/// A set of column indices, the unit of every lattice algorithm in this
+/// library (UCC candidates, FD left-hand sides, connectors, ...).
+///
+/// Represented as a fixed-width inline bitset so that set algebra (union,
+/// intersection, subset tests) is a handful of word operations with no heap
+/// allocation. The width cap covers the widest dataset in the paper
+/// (uniprot, 223 columns).
+class ColumnSet {
+ public:
+  /// Maximum number of columns a relation may have.
+  static constexpr int kMaxColumns = 256;
+
+  /// Constructs the empty set.
+  ColumnSet() : words_{} {}
+
+  /// Returns {column}.
+  static ColumnSet Single(int column) {
+    ColumnSet s;
+    s.Add(column);
+    return s;
+  }
+
+  /// Returns {0, 1, ..., n-1}.
+  static ColumnSet FirstN(int n) {
+    MUDS_CHECK(n >= 0 && n <= kMaxColumns);
+    ColumnSet s;
+    for (int i = 0; i < n; ++i) s.Add(i);
+    return s;
+  }
+
+  /// Returns the set holding exactly `columns`.
+  static ColumnSet FromIndices(const std::vector<int>& columns) {
+    ColumnSet s;
+    for (int c : columns) s.Add(c);
+    return s;
+  }
+
+  /// Adds `column` to the set.
+  void Add(int column) {
+    MUDS_DCHECK(column >= 0 && column < kMaxColumns);
+    words_[column >> 6] |= uint64_t{1} << (column & 63);
+  }
+
+  /// Removes `column` from the set (no-op if absent).
+  void Remove(int column) {
+    MUDS_DCHECK(column >= 0 && column < kMaxColumns);
+    words_[column >> 6] &= ~(uint64_t{1} << (column & 63));
+  }
+
+  /// True if `column` is in the set.
+  bool Contains(int column) const {
+    MUDS_DCHECK(column >= 0 && column < kMaxColumns);
+    return (words_[column >> 6] >> (column & 63)) & 1;
+  }
+
+  /// Number of columns in the set.
+  int Count() const {
+    int n = 0;
+    for (uint64_t w : words_) n += __builtin_popcountll(w);
+    return n;
+  }
+
+  /// True if the set is empty.
+  bool Empty() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// Smallest column in the set, or -1 if empty.
+  int First() const { return NextAtLeast(0); }
+
+  /// Smallest column >= `from`, or -1 if none. Enables allocation-free
+  /// iteration: for (int c = s.First(); c >= 0; c = s.NextAtLeast(c + 1)).
+  int NextAtLeast(int from) const {
+    if (from >= kMaxColumns) return -1;
+    int word = from >> 6;
+    uint64_t bits = words_[word] & (~uint64_t{0} << (from & 63));
+    while (true) {
+      if (bits != 0) return (word << 6) + __builtin_ctzll(bits);
+      if (++word >= kNumWords) return -1;
+      bits = words_[word];
+    }
+  }
+
+  /// The set's columns in increasing order.
+  std::vector<int> ToIndices() const {
+    std::vector<int> out;
+    out.reserve(static_cast<size_t>(Count()));
+    for (int c = First(); c >= 0; c = NextAtLeast(c + 1)) out.push_back(c);
+    return out;
+  }
+
+  /// True if this set is a subset of (or equal to) `other`.
+  bool IsSubsetOf(const ColumnSet& other) const {
+    for (int i = 0; i < kNumWords; ++i) {
+      if ((words_[i] & ~other.words_[i]) != 0) return false;
+    }
+    return true;
+  }
+
+  /// True if this set is a proper subset of `other`.
+  bool IsProperSubsetOf(const ColumnSet& other) const {
+    return IsSubsetOf(other) && *this != other;
+  }
+
+  /// True if the two sets share at least one column.
+  bool Intersects(const ColumnSet& other) const {
+    for (int i = 0; i < kNumWords; ++i) {
+      if ((words_[i] & other.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  /// Set union.
+  ColumnSet Union(const ColumnSet& other) const {
+    ColumnSet s;
+    for (int i = 0; i < kNumWords; ++i) {
+      s.words_[i] = words_[i] | other.words_[i];
+    }
+    return s;
+  }
+
+  /// Set intersection.
+  ColumnSet Intersect(const ColumnSet& other) const {
+    ColumnSet s;
+    for (int i = 0; i < kNumWords; ++i) {
+      s.words_[i] = words_[i] & other.words_[i];
+    }
+    return s;
+  }
+
+  /// Set difference (this \ other).
+  ColumnSet Difference(const ColumnSet& other) const {
+    ColumnSet s;
+    for (int i = 0; i < kNumWords; ++i) {
+      s.words_[i] = words_[i] & ~other.words_[i];
+    }
+    return s;
+  }
+
+  /// This set plus `column`.
+  ColumnSet With(int column) const {
+    ColumnSet s = *this;
+    s.Add(column);
+    return s;
+  }
+
+  /// This set minus `column`.
+  ColumnSet Without(int column) const {
+    ColumnSet s = *this;
+    s.Remove(column);
+    return s;
+  }
+
+  friend bool operator==(const ColumnSet& a, const ColumnSet& b) {
+    return a.words_ == b.words_;
+  }
+  friend bool operator!=(const ColumnSet& a, const ColumnSet& b) {
+    return !(a == b);
+  }
+  /// Arbitrary total order (lexicographic on words), for use in std::map and
+  /// for deterministic output ordering.
+  friend bool operator<(const ColumnSet& a, const ColumnSet& b) {
+    for (int i = kNumWords - 1; i >= 0; --i) {
+      if (a.words_[i] != b.words_[i]) return a.words_[i] < b.words_[i];
+    }
+    return false;
+  }
+
+  /// Hash for unordered containers.
+  size_t Hash() const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint64_t w : words_) {
+      h ^= w;
+      h *= 0x100000001b3ULL;
+      h ^= h >> 32;
+    }
+    return static_cast<size_t>(h);
+  }
+
+  /// Debug rendering as sorted indices, e.g. "{0,2,5}".
+  std::string ToString() const;
+
+  /// Rendering with column names looked up from `names`, e.g. "AB".
+  std::string ToString(const std::vector<std::string>& names) const;
+
+ private:
+  static constexpr int kNumWords = kMaxColumns / 64;
+  std::array<uint64_t, kNumWords> words_;
+};
+
+/// std::hash adapter so ColumnSet works as an unordered_map/set key.
+struct ColumnSetHash {
+  size_t operator()(const ColumnSet& s) const { return s.Hash(); }
+};
+
+}  // namespace muds
+
+#endif  // MUDS_SETOPS_COLUMN_SET_H_

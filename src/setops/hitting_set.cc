@@ -1,0 +1,50 @@
+#include "setops/hitting_set.h"
+
+#include <algorithm>
+
+#include "setops/antichain.h"
+
+namespace muds {
+
+// Berge's sequential algorithm: maintain the antichain of minimal hitting
+// sets of the first i family members, then extend it with member i+1. The
+// MinimalSetCollection keeps intermediate results minimal, which bounds the
+// blow-up for the family sizes that lattice hole detection produces.
+std::vector<ColumnSet> MinimalHittingSets(const std::vector<ColumnSet>& family,
+                                          int num_columns) {
+  (void)num_columns;
+  for (const ColumnSet& member : family) {
+    if (member.Empty()) return {};  // The empty set cannot be hit.
+  }
+
+  // Processing small members first keeps intermediate antichains small.
+  std::vector<ColumnSet> ordered = family;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ColumnSet& a, const ColumnSet& b) {
+              const int ca = a.Count();
+              const int cb = b.Count();
+              return ca != cb ? ca < cb : a < b;
+            });
+  ordered.erase(std::unique(ordered.begin(), ordered.end()), ordered.end());
+
+  std::vector<ColumnSet> current = {ColumnSet()};
+  for (const ColumnSet& member : ordered) {
+    MinimalSetCollection next;
+    // Hitting sets that already intersect the new member carry over; they are
+    // inserted first so that extended sets dominated by them get rejected.
+    for (const ColumnSet& h : current) {
+      if (h.Intersects(member)) next.Insert(h);
+    }
+    for (const ColumnSet& h : current) {
+      if (h.Intersects(member)) continue;
+      for (int v = member.First(); v >= 0; v = member.NextAtLeast(v + 1)) {
+        next.Insert(h.With(v));
+      }
+    }
+    current = next.CollectAll();
+  }
+  std::sort(current.begin(), current.end());
+  return current;
+}
+
+}  // namespace muds

@@ -1,0 +1,27 @@
+#ifndef MUDS_SETOPS_HITTING_SET_H_
+#define MUDS_SETOPS_HITTING_SET_H_
+
+#include <vector>
+
+#include "setops/column_set.h"
+
+namespace muds {
+
+/// Enumerates all minimal hitting sets of `family` over the universe
+/// {0, ..., num_columns-1}: the inclusion-minimal sets that intersect every
+/// set in `family`.
+///
+/// Used for the lattice "hole" detection inherited from DUCC (§2.2): the
+/// minimal sets with a monotone property are exactly the minimal hitting
+/// sets of the complements of the maximal sets without the property, so
+/// comparing the two reveals unvisited candidates after a random walk.
+///
+/// If `family` contains an empty set no hitting set exists and the result is
+/// empty. If `family` itself is empty, the empty set is the unique minimal
+/// hitting set.
+std::vector<ColumnSet> MinimalHittingSets(const std::vector<ColumnSet>& family,
+                                          int num_columns);
+
+}  // namespace muds
+
+#endif  // MUDS_SETOPS_HITTING_SET_H_

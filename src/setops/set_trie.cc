@@ -1,0 +1,204 @@
+#include "setops/set_trie.h"
+
+#include <algorithm>
+
+namespace muds {
+
+SetTrie::Node* SetTrie::Node::Find(int column) const {
+  auto it = std::lower_bound(
+      children.begin(), children.end(), column,
+      [](const auto& entry, int c) { return entry.first < c; });
+  if (it == children.end() || it->first != column) return nullptr;
+  return it->second.get();
+}
+
+SetTrie::Node* SetTrie::Node::FindOrCreate(int column) {
+  auto it = std::lower_bound(
+      children.begin(), children.end(), column,
+      [](const auto& entry, int c) { return entry.first < c; });
+  if (it != children.end() && it->first == column) return it->second.get();
+  it = children.emplace(it, column, std::make_unique<Node>());
+  return it->second.get();
+}
+
+bool SetTrie::Insert(const ColumnSet& set) {
+  Node* node = root_.get();
+  for (int c = set.First(); c >= 0; c = set.NextAtLeast(c + 1)) {
+    node = node->FindOrCreate(c);
+  }
+  if (node->terminal) return false;
+  node->terminal = true;
+  ++size_;
+  return true;
+}
+
+bool SetTrie::EraseRecursive(Node* node, const std::vector<int>& columns,
+                             size_t index, bool* erased) {
+  if (index == columns.size()) {
+    if (!node->terminal) return false;
+    node->terminal = false;
+    *erased = true;
+    return node->children.empty();
+  }
+  auto it = std::lower_bound(
+      node->children.begin(), node->children.end(), columns[index],
+      [](const auto& entry, int c) { return entry.first < c; });
+  if (it == node->children.end() || it->first != columns[index]) return false;
+  if (EraseRecursive(it->second.get(), columns, index + 1, erased)) {
+    node->children.erase(it);
+  }
+  return !node->terminal && node->children.empty();
+}
+
+bool SetTrie::Erase(const ColumnSet& set) {
+  bool erased = false;
+  EraseRecursive(root_.get(), set.ToIndices(), 0, &erased);
+  if (erased) --size_;
+  return erased;
+}
+
+bool SetTrie::Contains(const ColumnSet& set) const {
+  const Node* node = root_.get();
+  for (int c = set.First(); c >= 0; c = set.NextAtLeast(c + 1)) {
+    node = node->Find(c);
+    if (node == nullptr) return false;
+  }
+  return node->terminal;
+}
+
+bool SetTrie::SubsetQuery(const Node* node, const ColumnSet& set, int from) {
+  if (node->terminal) return true;
+  for (const auto& [column, child] : node->children) {
+    if (column < from) continue;
+    if (!set.Contains(column)) continue;
+    if (SubsetQuery(child.get(), set, column + 1)) return true;
+  }
+  return false;
+}
+
+bool SetTrie::ContainsSubsetOf(const ColumnSet& set) const {
+  return SubsetQuery(root_.get(), set, 0);
+}
+
+bool SetTrie::SupersetQuery(const Node* node, const std::vector<int>& columns,
+                            size_t index) {
+  if (index == columns.size()) {
+    // Any terminal in this subtree is a superset. The trie invariant (every
+    // leaf is terminal) makes "subtree non-empty or terminal" sufficient.
+    return node->terminal || !node->children.empty();
+  }
+  const int needed = columns[index];
+  for (const auto& [column, child] : node->children) {
+    if (column > needed) break;  // Sorted children; `needed` is unreachable.
+    const size_t next = column == needed ? index + 1 : index;
+    if (SupersetQuery(child.get(), columns, next)) return true;
+  }
+  return false;
+}
+
+bool SetTrie::ContainsSupersetOf(const ColumnSet& set) const {
+  return SupersetQuery(root_.get(), set.ToIndices(), 0);
+}
+
+void SetTrie::CollectSubsets(const Node* node, const ColumnSet& set, int from,
+                             ColumnSet* prefix,
+                             std::vector<ColumnSet>* out) {
+  if (node->terminal) out->push_back(*prefix);
+  for (const auto& [column, child] : node->children) {
+    if (column < from || !set.Contains(column)) continue;
+    prefix->Add(column);
+    CollectSubsets(child.get(), set, column + 1, prefix, out);
+    prefix->Remove(column);
+  }
+}
+
+std::vector<ColumnSet> SetTrie::CollectSubsetsOf(const ColumnSet& set) const {
+  std::vector<ColumnSet> out;
+  ColumnSet prefix;
+  CollectSubsets(root_.get(), set, 0, &prefix, &out);
+  return out;
+}
+
+void SetTrie::CollectSupersets(const Node* node,
+                               const std::vector<int>& columns, size_t index,
+                               ColumnSet* prefix,
+                               std::vector<ColumnSet>* out) {
+  if (index == columns.size()) {
+    Collect(node, prefix, out);
+    return;
+  }
+  const int needed = columns[index];
+  for (const auto& [column, child] : node->children) {
+    if (column > needed) break;
+    prefix->Add(column);
+    CollectSupersets(child.get(), columns,
+                     column == needed ? index + 1 : index, prefix, out);
+    prefix->Remove(column);
+  }
+}
+
+std::vector<ColumnSet> SetTrie::CollectSupersetsOf(
+    const ColumnSet& set) const {
+  std::vector<ColumnSet> out;
+  ColumnSet prefix;
+  CollectSupersets(root_.get(), set.ToIndices(), 0, &prefix, &out);
+  return out;
+}
+
+bool SetTrie::FindSuperset(const Node* node, const std::vector<int>& columns,
+                           size_t index, ColumnSet* prefix, ColumnSet* out) {
+  if (index == columns.size()) {
+    // Any terminal below completes a superset; take the leftmost path. The
+    // root of an empty trie is the only childless non-terminal node.
+    const Node* walk = node;
+    ColumnSet result = *prefix;
+    while (!walk->terminal) {
+      if (walk->children.empty()) return false;
+      result.Add(walk->children.front().first);
+      walk = walk->children.front().second.get();
+    }
+    *out = result;
+    return true;
+  }
+  const int needed = columns[index];
+  for (const auto& [column, child] : node->children) {
+    if (column > needed) break;
+    prefix->Add(column);
+    if (FindSuperset(child.get(), columns,
+                     column == needed ? index + 1 : index, prefix, out)) {
+      prefix->Remove(column);
+      return true;
+    }
+    prefix->Remove(column);
+  }
+  return false;
+}
+
+bool SetTrie::FindSupersetOf(const ColumnSet& set, ColumnSet* out) const {
+  ColumnSet prefix;
+  return FindSuperset(root_.get(), set.ToIndices(), 0, &prefix, out);
+}
+
+void SetTrie::Collect(const Node* node, ColumnSet* prefix,
+                      std::vector<ColumnSet>* out) {
+  if (node->terminal) out->push_back(*prefix);
+  for (const auto& [column, child] : node->children) {
+    prefix->Add(column);
+    Collect(child.get(), prefix, out);
+    prefix->Remove(column);
+  }
+}
+
+std::vector<ColumnSet> SetTrie::CollectAll() const {
+  std::vector<ColumnSet> out;
+  ColumnSet prefix;
+  Collect(root_.get(), &prefix, &out);
+  return out;
+}
+
+void SetTrie::Clear() {
+  root_ = std::make_unique<Node>();
+  size_ = 0;
+}
+
+}  // namespace muds

@@ -1,0 +1,100 @@
+#ifndef MUDS_SETOPS_SET_TRIE_H_
+#define MUDS_SETOPS_SET_TRIE_H_
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "setops/column_set.h"
+
+namespace muds {
+
+/// Prefix tree over column sets (§5.4 of the paper).
+///
+/// Each stored set is a path of strictly increasing column indices; a node is
+/// marked terminal where a stored set ends. The structure answers the subset
+/// and superset queries that dominate MUDS' FD validation — "is any stored
+/// minimal UCC a subset of this left-hand side?" and the connector look-up's
+/// "which stored minimal UCCs are supersets of this connector?" — without
+/// scanning the whole collection.
+class SetTrie {
+ public:
+  SetTrie() : root_(new Node()) {}
+
+  SetTrie(SetTrie&&) = default;
+  SetTrie& operator=(SetTrie&&) = default;
+
+  /// Inserts `set`. Returns false if it was already present.
+  bool Insert(const ColumnSet& set);
+
+  /// Removes `set`. Returns false if it was not present. Empty branches are
+  /// pruned so that every remaining leaf is terminal.
+  bool Erase(const ColumnSet& set);
+
+  /// True if exactly `set` is stored.
+  bool Contains(const ColumnSet& set) const;
+
+  /// True if some stored set is a subset of (or equal to) `set`.
+  bool ContainsSubsetOf(const ColumnSet& set) const;
+
+  /// True if some stored set is a superset of (or equal to) `set`.
+  bool ContainsSupersetOf(const ColumnSet& set) const;
+
+  /// All stored sets that are subsets of (or equal to) `set`.
+  std::vector<ColumnSet> CollectSubsetsOf(const ColumnSet& set) const;
+
+  /// All stored sets that are supersets of (or equal to) `set`.
+  std::vector<ColumnSet> CollectSupersetsOf(const ColumnSet& set) const;
+
+  /// Writes one stored superset of `set` into `out` and returns true, or
+  /// returns false if none exists. Cheaper than CollectSupersetsOf when any
+  /// witness suffices.
+  bool FindSupersetOf(const ColumnSet& set, ColumnSet* out) const;
+
+  /// All stored sets.
+  std::vector<ColumnSet> CollectAll() const;
+
+  /// Number of stored sets.
+  size_t Size() const { return size_; }
+
+  bool IsEmpty() const { return size_ == 0; }
+
+  /// Removes all stored sets.
+  void Clear();
+
+ private:
+  struct Node {
+    // Children sorted by column index; descendants of child c only contain
+    // indices > c.
+    std::vector<std::pair<int, std::unique_ptr<Node>>> children;
+    bool terminal = false;
+
+    Node* Find(int column) const;
+    Node* FindOrCreate(int column);
+  };
+
+  static bool SubsetQuery(const Node* node, const ColumnSet& set, int from);
+  static bool SupersetQuery(const Node* node,
+                            const std::vector<int>& columns, size_t index);
+  static void CollectSubsets(const Node* node, const ColumnSet& set, int from,
+                             ColumnSet* prefix, std::vector<ColumnSet>* out);
+  static void CollectSupersets(const Node* node,
+                               const std::vector<int>& columns, size_t index,
+                               ColumnSet* prefix,
+                               std::vector<ColumnSet>* out);
+  static bool FindSuperset(const Node* node, const std::vector<int>& columns,
+                           size_t index, ColumnSet* prefix, ColumnSet* out);
+  static void Collect(const Node* node, ColumnSet* prefix,
+                      std::vector<ColumnSet>* out);
+  // Returns true if the child entry can be removed from its parent.
+  static bool EraseRecursive(Node* node, const std::vector<int>& columns,
+                             size_t index, bool* erased);
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace muds
+
+#endif  // MUDS_SETOPS_SET_TRIE_H_

@@ -1,0 +1,54 @@
+#ifndef MUDS_UCC_DUCC_H_
+#define MUDS_UCC_DUCC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/relation.h"
+#include "pli/pli_cache.h"
+#include "setops/column_set.h"
+#include "ucc/lattice_traversal.h"
+
+namespace muds {
+
+/// DUCC (§2.2): discovery of all minimal unique column combinations via a
+/// random-walk traversal of the attribute lattice with bidirectional
+/// pruning and hole filling.
+///
+/// The uniqueness check builds the candidate's PLI (through the shared
+/// PliCache) and tests whether any stripped cluster remains.
+///
+/// The input relation is expected to be duplicate-row free (§3); the
+/// Profiler facade guarantees this. A relation with fewer than two rows has
+/// the single minimal UCC ∅.
+class Ducc {
+ public:
+  struct Options {
+    Options() : seed(1) {}
+    uint64_t seed;
+  };
+
+  struct Stats {
+    int64_t uniqueness_checks = 0;
+    int64_t walk_steps = 0;
+    int64_t holes_checked = 0;
+  };
+
+  /// Discovers all minimal UCCs of `relation`, using (and filling) `cache`.
+  /// If `stats` is non-null, traversal counters are written there.
+  static std::vector<ColumnSet> Discover(const Relation& relation,
+                                         PliCache* cache,
+                                         const Options& options = Options(),
+                                         Stats* stats = nullptr);
+};
+
+/// Exhaustive reference implementation (level-wise over all candidate sets,
+/// minimality by subset pruning). Exponential; only for tests.
+class BruteForceUcc {
+ public:
+  static std::vector<ColumnSet> Discover(const Relation& relation);
+};
+
+}  // namespace muds
+
+#endif  // MUDS_UCC_DUCC_H_

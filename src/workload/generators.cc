@@ -1,0 +1,445 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace muds {
+
+namespace {
+
+// Deterministic 64-bit mix used for derived columns.
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+std::string ValueName(const ColumnSpec& spec, int column, int64_t code) {
+  switch (spec.kind) {
+    case ColumnSpec::Kind::kUnique:
+      return "id" + std::to_string(code);
+    case ColumnSpec::Kind::kRenamed:
+      // Same codes as the source but a disjoint value domain: the columns
+      // determine each other without being value-identical.
+      return "r" + std::to_string(column) + "_" + std::to_string(code);
+    default:
+      return "v" + std::to_string(code);
+  }
+}
+
+}  // namespace
+
+Relation MakeFromSpecs(int64_t rows, const std::vector<ColumnSpec>& specs,
+                       uint64_t seed, const std::string& name) {
+  MUDS_CHECK(rows >= 0);
+  const int num_columns = static_cast<int>(specs.size());
+  std::vector<std::string> column_names;
+  column_names.reserve(specs.size());
+  for (int c = 0; c < num_columns; ++c) {
+    column_names.push_back("c" + std::to_string(c));
+  }
+
+  // Generate column-wise codes first, because derived columns read the
+  // codes of their sources.
+  std::vector<std::vector<int64_t>> codes(
+      specs.size(), std::vector<int64_t>(static_cast<size_t>(rows)));
+  Rng rng(seed);
+  for (int c = 0; c < num_columns; ++c) {
+    const ColumnSpec& spec = specs[static_cast<size_t>(c)];
+    const uint64_t salt = Mix(seed, static_cast<uint64_t>(c) + 101);
+    for (int64_t row = 0; row < rows; ++row) {
+      int64_t value = 0;
+      switch (spec.kind) {
+        case ColumnSpec::Kind::kUnique:
+          value = row;
+          break;
+        case ColumnSpec::Kind::kCategorical:
+          MUDS_CHECK(spec.cardinality >= 1);
+          if (spec.skew > 0.0) {
+            const double u = rng.NextDouble();
+            value = static_cast<int64_t>(
+                static_cast<double>(spec.cardinality) *
+                std::pow(u, 1.0 + spec.skew));
+            if (value >= spec.cardinality) value = spec.cardinality - 1;
+          } else {
+            value = static_cast<int64_t>(
+                rng.NextBelow(static_cast<uint64_t>(spec.cardinality)));
+          }
+          break;
+        case ColumnSpec::Kind::kDerived: {
+          MUDS_CHECK(spec.cardinality >= 1);
+          if (spec.noise > 0.0 && rng.NextBool(spec.noise)) {
+            value = static_cast<int64_t>(
+                rng.NextBelow(static_cast<uint64_t>(spec.cardinality)));
+            break;
+          }
+          uint64_t h = salt;
+          for (int source : spec.sources) {
+            MUDS_CHECK(source >= 0 && source < c);
+            h = Mix(h, static_cast<uint64_t>(
+                           codes[static_cast<size_t>(source)]
+                                [static_cast<size_t>(row)]));
+          }
+          value = static_cast<int64_t>(
+              h % static_cast<uint64_t>(spec.cardinality));
+          break;
+        }
+        case ColumnSpec::Kind::kCounter:
+          MUDS_CHECK(spec.cardinality >= 1 && spec.divisor >= 1);
+          value = (row / spec.divisor) % spec.cardinality;
+          break;
+        case ColumnSpec::Kind::kRenamed: {
+          MUDS_CHECK(spec.sources.size() == 1);
+          const int source = spec.sources[0];
+          MUDS_CHECK(source >= 0 && source < c);
+          value = codes[static_cast<size_t>(source)]
+                       [static_cast<size_t>(row)];
+          break;
+        }
+      }
+      codes[static_cast<size_t>(c)][static_cast<size_t>(row)] = value;
+    }
+  }
+
+  RelationBuilder builder(column_names, name);
+  std::vector<std::string> row_values(specs.size());
+  for (int64_t row = 0; row < rows; ++row) {
+    for (int c = 0; c < num_columns; ++c) {
+      row_values[static_cast<size_t>(c)] =
+          ValueName(specs[static_cast<size_t>(c)], c,
+                    codes[static_cast<size_t>(c)][static_cast<size_t>(row)]);
+    }
+    builder.AddRow(row_values);
+  }
+  return std::move(builder).Build();
+}
+
+Relation MakeCategorical(int64_t rows,
+                         const std::vector<int64_t>& cardinalities,
+                         uint64_t seed, const std::string& name) {
+  std::vector<ColumnSpec> specs;
+  specs.reserve(cardinalities.size());
+  for (int64_t cardinality : cardinalities) {
+    ColumnSpec spec;
+    spec.kind = ColumnSpec::Kind::kCategorical;
+    spec.cardinality = cardinality;
+    specs.push_back(spec);
+  }
+  return MakeFromSpecs(rows, specs, seed, name);
+}
+
+Relation MakeUniprotLike(int64_t rows, int cols, uint64_t seed) {
+  MUDS_CHECK(cols >= 3);
+  std::vector<ColumnSpec> specs(static_cast<size_t>(cols));
+  // Backbone: a unique accession id plus two category columns.
+  specs[0].kind = ColumnSpec::Kind::kUnique;
+  specs[1] = {ColumnSpec::Kind::kCategorical, 40, 1, {}};
+  specs[2] = {ColumnSpec::Kind::kCategorical, 400, 1, {}};
+  // Attribute columns: functions of the backbone — organism → taxonomy
+  // chains (bijective renamings) plant FDs with single-column left-hand
+  // sides in both directions; every mutual FD pair shadows a column
+  // (§4.3), so the shadowed phases get expensive and their cost scales
+  // with the row count — the regime where Holistic FUN beats MUDS (§6.1).
+  for (int c = 3; c < cols; ++c) {
+    ColumnSpec& spec = specs[static_cast<size_t>(c)];
+    switch (c % 5) {
+      case 0:
+        spec = {ColumnSpec::Kind::kDerived, 12, 1, {1}};
+        break;
+      case 1:
+        spec = {ColumnSpec::Kind::kRenamed, 0, 1, {c - 2}};
+        break;
+      case 2:
+        spec = {ColumnSpec::Kind::kDerived, 30, 1, {1, 2}};
+        break;
+      case 3:
+        spec = {ColumnSpec::Kind::kRenamed, 0, 1, {2}};
+        break;
+      case 4:
+        spec = {ColumnSpec::Kind::kCategorical, rows / 2 + 1, 1, {}};
+        break;
+    }
+  }
+  return MakeFromSpecs(rows, specs, seed, "uniprot_like");
+}
+
+Relation MakeIonosphereLike(int64_t rows, int cols, uint64_t seed) {
+  MUDS_CHECK(cols >= 2);
+  Rng rng(seed ^ 0xabcdef);
+  std::vector<ColumnSpec> specs(static_cast<size_t>(cols));
+  // Real ionosphere opens with a binary pulse flag and an all-zero column.
+  specs[0] = {ColumnSpec::Kind::kCategorical, 2, 1, {}};
+  specs[1] = {ColumnSpec::Kind::kCategorical, 1, 1, {}};
+  // A mixed-radix "measurement sweep" backbone: five digit columns whose
+  // cross product just covers the rows, so the relation's key needs all of
+  // them — the minimal UCCs (and with them the minimal FD left-hand sides)
+  // sit at lattice levels 5-7, the paper's "many and large FDs" regime.
+  // A level-wise algorithm must materialize the lattice up to that height
+  // (exponential in the column count) while MUDS' UCC-first strategy jumps
+  // there directly (Figure 7, §6.5). The remaining columns mix functions
+  // of the backbone (planted FDs) with skewed quantized measurements.
+  int64_t backbone_cards[] = {3, 3, 5, 3, 3};
+  int backbone_index = 0;
+  int64_t divisor = 1;
+  std::vector<int> backbone_columns;
+  for (int c = 2; c < cols; ++c) {
+    ColumnSpec& spec = specs[static_cast<size_t>(c)];
+    if (c % 3 == 2 && backbone_index < 5) {
+      spec.kind = ColumnSpec::Kind::kCounter;
+      spec.cardinality = backbone_cards[backbone_index];
+      spec.divisor = divisor;
+      divisor *= backbone_cards[backbone_index];
+      ++backbone_index;
+      backbone_columns.push_back(c);
+    } else if ((c % 3 == 0 || c >= 17) && backbone_columns.size() >= 2) {
+      spec.kind = ColumnSpec::Kind::kDerived;
+      spec.cardinality = 4 + static_cast<int64_t>(rng.NextBelow(14));
+      spec.sources = {backbone_columns[static_cast<size_t>(
+                          rng.NextBelow(backbone_columns.size()))],
+                      backbone_columns[static_cast<size_t>(
+                          rng.NextBelow(backbone_columns.size()))]};
+      if (spec.sources[0] == spec.sources[1]) spec.sources.pop_back();
+    } else {
+      // Skewed low-cardinality measurement noise: skew keeps combinations
+      // of noise columns from becoming accidentally unique, so the
+      // dependency counts stay in the paper's range while the lattice
+      // levels stay high.
+      spec.kind = ColumnSpec::Kind::kCategorical;
+      spec.cardinality = 2 + static_cast<int64_t>(rng.NextBelow(2));
+      spec.skew = 2.0;
+    }
+  }
+  return MakeFromSpecs(rows, specs, seed, "ionosphere_like");
+}
+
+Relation MakeNcvoterLike(int64_t rows, int cols, uint64_t seed) {
+  MUDS_CHECK(cols >= 2);
+  // Person/address-style schema with chained derivations: county drives
+  // city, zip, precinct, ward, ...; status drives its description; birth
+  // year drives age. Functions of functions are exactly what makes columns
+  // "shadowed" (§4.3), so the shadowed-FD phases dominate (Figure 8).
+  std::vector<ColumnSpec> base = {
+      {ColumnSpec::Kind::kUnique, 0, 1, {}},            // 0 voter id
+      {ColumnSpec::Kind::kCategorical, 100, 1, {}},     // 1 county id
+      {ColumnSpec::Kind::kRenamed, 0, 1, {1}},          // 2 county name
+      {ColumnSpec::Kind::kDerived, 400, 1, {1}},        // 3 city
+      {ColumnSpec::Kind::kDerived, 700, 1, {3}},        // 4 zip
+      {ColumnSpec::Kind::kCategorical, 1200, 1, {}},    // 5 first name
+      {ColumnSpec::Kind::kCategorical, 4000, 1, {}},    // 6 last name
+      {ColumnSpec::Kind::kCategorical, 3, 1, {}},       // 7 gender
+      {ColumnSpec::Kind::kCategorical, 6, 1, {}},       // 8 party
+      {ColumnSpec::Kind::kCategorical, 90, 1, {}},      // 9 birth year
+      {ColumnSpec::Kind::kRenamed, 0, 1, {9}},          // 10 age
+      {ColumnSpec::Kind::kCategorical, 4, 1, {}},       // 11 status
+      {ColumnSpec::Kind::kRenamed, 0, 1, {11}},         // 12 status desc
+      {ColumnSpec::Kind::kDerived, 300, 1, {1}},        // 13 precinct
+      {ColumnSpec::Kind::kRenamed, 0, 1, {13}},         // 14 precinct desc
+      {ColumnSpec::Kind::kDerived, 150, 1, {1}},        // 15 phone area
+      {ColumnSpec::Kind::kCategorical, 9000, 1, {}},    // 16 street
+      {ColumnSpec::Kind::kDerived, 120, 1, {13}},       // 17 ward
+      {ColumnSpec::Kind::kDerived, 80, 1, {1}},         // 18 school district
+      {ColumnSpec::Kind::kDerived, 7, 1, {11}},         // 19 reason
+  };
+  std::vector<ColumnSpec> specs;
+  specs.reserve(static_cast<size_t>(cols));
+  for (int c = 0; c < cols; ++c) {
+    if (c < static_cast<int>(base.size())) {
+      specs.push_back(base[static_cast<size_t>(c)]);
+    } else {
+      // Extra columns: alternate coarse categoricals and county-derived
+      // fields.
+      if (c % 2 == 0) {
+        specs.push_back({ColumnSpec::Kind::kDerived,
+                         40 + (c % 7) * 13,
+                         1,
+                         {1}});
+      } else {
+        specs.push_back(
+            {ColumnSpec::Kind::kCategorical, 5 + (c % 11) * 9, 1, {}});
+      }
+    }
+  }
+  return MakeFromSpecs(rows, specs, seed, "ncvoter_like");
+}
+
+std::vector<UciProfile> UciProfiles() {
+  using K = ColumnSpec::Kind;
+  std::vector<UciProfile> profiles;
+
+  const auto categorical = [](int64_t card) {
+    return ColumnSpec{K::kCategorical, card, 1, {}};
+  };
+  // Real measurement/score columns are heavily skewed; skew keeps column
+  // combinations from going accidentally unique, which is what holds the
+  // discovered-FD counts in the ranges Table 3 reports.
+  const auto skewed = [](int64_t card, double skew) {
+    ColumnSpec spec{K::kCategorical, card, 1, {}};
+    spec.skew = skew;
+    return spec;
+  };
+  const auto derived = [](int64_t card, std::vector<int> sources) {
+    return ColumnSpec{K::kDerived, card, 1, std::move(sources)};
+  };
+  // Correlated-but-not-determined column: a noisy function of its sources.
+  const auto correlated = [](int64_t card, std::vector<int> sources,
+                             double noise) {
+    ColumnSpec spec{K::kDerived, card, 1, std::move(sources)};
+    spec.noise = noise;
+    return spec;
+  };
+  const auto counter = [](int64_t card, int64_t divisor) {
+    return ColumnSpec{K::kCounter, card, divisor, {}};
+  };
+
+  // iris: 150 rows, 4 measured columns + species.
+  profiles.push_back(
+      {"iris",
+       150,
+       {categorical(35), categorical(23), categorical(43), categorical(22),
+        derived(3, {2, 3})},
+       4});
+
+  // balance: the full 5^4 cross product + a class column.
+  profiles.push_back({"balance",
+                      625,
+                      {counter(5, 125), counter(5, 25), counter(5, 5),
+                       counter(5, 1), derived(3, {0, 1, 2, 3})},
+                      1});
+
+  // chess (krkopt): six piece coordinates + outcome.
+  profiles.push_back({"chess",
+                      28056,
+                      {categorical(8), categorical(8), categorical(8),
+                       categorical(8), categorical(8), categorical(8),
+                       derived(18, {0, 1, 2, 3, 4, 5})},
+                      1});
+
+  // abalone: sex + seven measurements + rings.
+  profiles.push_back(
+      {"abalone",
+       4177,
+       {categorical(3), skewed(130, 0.8), skewed(110, 0.8), skewed(50, 0.8),
+        skewed(500, 0.8), skewed(300, 0.8), skewed(250, 0.8),
+        derived(200, {4, 5}), derived(29, {1, 4})},
+       137});
+
+  // nursery: full cross product of eight nursery attributes + class.
+  profiles.push_back(
+      {"nursery",
+       12960,
+       {counter(3, 4320), counter(5, 864), counter(4, 216), counter(4, 54),
+        counter(3, 18), counter(2, 9), counter(3, 3), counter(3, 1),
+        derived(5, {0, 1, 2, 3, 4, 5, 6, 7})},
+       1});
+
+  // breast-cancer-wisconsin: id + nine cytology scores + class. The scores
+  // are famously skewed toward 1.
+  profiles.push_back(
+      {"b-cancer",
+       699,
+       {categorical(645), skewed(10, 2.0), skewed(10, 2.0), skewed(10, 2.0),
+        skewed(10, 2.0), skewed(10, 2.0), skewed(10, 2.0), skewed(10, 2.0),
+        skewed(10, 2.0), skewed(10, 2.0), derived(2, {2, 3, 4})},
+       46});
+
+  // bridges: small and mixed, with an identifier column.
+  profiles.push_back(
+      {"bridges",
+       108,
+       {categorical(108), skewed(7, 1.0), categorical(3), skewed(52, 1.5),
+        categorical(2), categorical(2), categorical(2), skewed(30, 1.5),
+        categorical(4), categorical(3), categorical(2), skewed(6, 1.0),
+        derived(3, {1, 3})},
+       142});
+
+  // echocardiogram: small rows, numeric columns.
+  profiles.push_back(
+      {"echocard",
+       132,
+       {skewed(60, 1.0), categorical(2), skewed(40, 1.0), skewed(30, 1.0),
+        skewed(25, 1.0), skewed(80, 1.0), skewed(70, 1.0), skewed(40, 1.0),
+        skewed(30, 1.0), skewed(24, 1.0), categorical(3), categorical(2),
+        derived(2, {0, 2})},
+       538});
+
+  // adult: census columns; fnlwgt is near-unique, the numeric columns
+  // (age, capital gains/losses, hours) are strongly skewed, and the
+  // demographic columns are correlated without exact dependencies.
+  profiles.push_back(
+      {"adult",
+       48842,
+       {skewed(74, 1.0), skewed(9, 1.0), categorical(28000),
+        skewed(16, 1.0), derived(16, {3}), correlated(7, {0, 3}, 0.3),
+        correlated(15, {1, 3}, 0.3), correlated(6, {5}, 0.2),
+        skewed(5, 1.0), categorical(2), skewed(120, 3.0),
+        skewed(100, 3.0), correlated(96, {0, 1}, 0.3), skewed(42, 1.0)},
+       78});
+
+  // letter: sixteen 0-15 pixel statistics + the letter class. The features
+  // are statistics of the same glyph, i.e. strongly correlated but almost
+  // never exactly determined — so the few minimal FDs that exist need
+  // large left-hand sides, the regime where MUDS shines (§6.3).
+  {
+    std::vector<ColumnSpec> specs;
+    specs.push_back(skewed(16, 1.0));
+    specs.push_back(skewed(16, 1.0));
+    specs.push_back(skewed(16, 1.0));
+    for (int i = 3; i < 16; ++i) {
+      specs.push_back(correlated(16, {i % 3, (i + 1) % 3, i - 1}, 0.25));
+    }
+    specs.push_back(correlated(26, {0, 1, 2, 3}, 0.15));
+    profiles.push_back({"letter", 20000, std::move(specs), 61});
+  }
+
+  // hepatitis: mostly binary medical flags + a few lab measurements, all
+  // loosely driven by disease severity (the flags and labs correlate).
+  {
+    std::vector<ColumnSpec> specs;
+    specs.push_back(skewed(50, 1.0));  // age
+    specs.push_back(categorical(2));   // sex
+    for (int i = 0; i < 11; ++i) {
+      specs.push_back(correlated(2, {1, i < 2 ? 0 : i}, 0.35));
+    }
+    specs.push_back(skewed(30, 1.5));  // bilirubin
+    specs.push_back(skewed(80, 1.5));  // alk phosphate
+    specs.push_back(correlated(60, {13, 14}, 0.25));  // sgot tracks the others
+    specs.push_back(skewed(30, 1.5));  // albumin
+    specs.push_back(correlated(45, {14, 16}, 0.25));  // protime
+    specs.push_back(categorical(2));   // histology
+    specs.push_back(categorical(2));   // class
+    profiles.push_back({"hepatitis", 155, std::move(specs), 8000});
+  }
+
+  return profiles;
+}
+
+Relation MakeUciLike(const UciProfile& profile, uint64_t seed,
+                     int64_t rows_override) {
+  if (rows_override < 0 || rows_override >= profile.rows) {
+    return MakeFromSpecs(profile.rows, profile.specs, seed,
+                         profile.name + "_like");
+  }
+  // Scaled-down instance: shrink high cardinalities proportionally so the
+  // columns keep their uniqueness *ratio* (a 57%-distinct column must stay
+  // 57%-distinct, not become a key). Counter divisors shrink with the same
+  // factor so cross products still cover the rows.
+  const double scale = static_cast<double>(rows_override) /
+                       static_cast<double>(profile.rows);
+  std::vector<ColumnSpec> specs = profile.specs;
+  for (ColumnSpec& spec : specs) {
+    if (spec.kind == ColumnSpec::Kind::kCategorical &&
+        spec.cardinality > 64) {
+      spec.cardinality = std::max<int64_t>(
+          64, static_cast<int64_t>(
+                  static_cast<double>(spec.cardinality) * scale));
+    }
+  }
+  return MakeFromSpecs(rows_override, specs, seed, profile.name + "_like");
+}
+
+}  // namespace muds

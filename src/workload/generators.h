@@ -1,0 +1,107 @@
+#ifndef MUDS_WORKLOAD_GENERATORS_H_
+#define MUDS_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/relation.h"
+
+namespace muds {
+
+/// Spec-driven synthetic relation generator.
+///
+/// The paper's evaluation datasets (uniprot, ionosphere, ncvoter, eleven UCI
+/// datasets) are not redistributable/offline, and the profiling algorithms
+/// are pure functions of the relational instance — so we rebuild instances
+/// with the *distributional properties* the paper names for each dataset
+/// (column count, row count, per-column cardinality, planted functional
+/// structure). See DESIGN.md, "Substitutions".
+struct ColumnSpec {
+  enum class Kind {
+    /// All values distinct ("id" column).
+    kUnique,
+    /// Uniform random categorical value with the given cardinality.
+    kCategorical,
+    /// Deterministic function (a salted hash) of the values of `sources`,
+    /// folded to `cardinality` buckets: plants the FD sources → column,
+    /// plus incidental FDs through bucket collisions.
+    kDerived,
+    /// Mixed-radix counter digit: value = (row / divisor) % cardinality.
+    /// A set of counter columns whose cardinalities multiply to the row
+    /// count enumerates the full cross product (the nursery/balance shape:
+    /// exactly one FD, with the full attribute set as its left-hand side).
+    kCounter,
+    /// Bijective renaming of a single source column (value = source value
+    /// under a different name): plants FDs in *both* directions, the
+    /// county-id ↔ county-name pattern that creates shadowed columns.
+    kRenamed,
+  };
+
+  Kind kind = Kind::kCategorical;
+  int64_t cardinality = 2;
+  int64_t divisor = 1;           // kCounter only.
+  std::vector<int> sources;      // kDerived only; indices of earlier columns.
+  /// kCategorical only: value-frequency skew. 0 = uniform; larger values
+  /// concentrate probability mass on few codes (value = ⌊card·u^(1+skew)⌋
+  /// for u ~ U[0,1)), which is what keeps real-world column combinations
+  /// from becoming unique — and thus keeps coincidental FDs rare and the
+  /// minimal UCCs high in the lattice.
+  double skew = 0.0;
+  /// kDerived only: probability that a cell deviates from the function of
+  /// its sources (replaced by a random value). Noise turns an exact FD
+  /// into a mere correlation — the real-data shape where columns are
+  /// statistically dependent but almost no exact FDs hold, so the few
+  /// minimal FDs that do exist have large left-hand sides.
+  double noise = 0.0;
+};
+
+/// Materializes `rows` rows from `specs`. Deterministic in `seed`.
+Relation MakeFromSpecs(int64_t rows, const std::vector<ColumnSpec>& specs,
+                       uint64_t seed, const std::string& name);
+
+/// Independent categorical columns with the given cardinalities — the
+/// workhorse shape: low cardinalities + many columns push the minimal UCCs
+/// and FD left-hand sides high up the lattice (the paper's "favorable
+/// pruning conditions" for MUDS, §6.5).
+Relation MakeCategorical(int64_t rows, const std::vector<int64_t>& cardinalities,
+                         uint64_t seed, const std::string& name);
+
+/// uniprot analog (§6.1, Figure 6): long relation whose attribute columns
+/// are functions of an id/category backbone — minimal FDs have small
+/// left-hand sides and many FDs are shadowed, the regime where Holistic FUN
+/// beats MUDS. `cols` >= 3.
+Relation MakeUniprotLike(int64_t rows, int cols, uint64_t seed);
+
+/// ionosphere analog (§6.2, Figure 7): short (351 rows) and wide, with
+/// near-unique numeric columns plus a few binary ones — "many and large
+/// FDs", the column-scalability stress test.
+Relation MakeIonosphereLike(int64_t rows, int cols, uint64_t seed);
+
+/// ncvoter analog (§6.4, Figure 8): person/address-style columns with
+/// chained derivations (zip → city, county id ↔ county name, ...) that
+/// produce a heavy shadowed-FD phase.
+Relation MakeNcvoterLike(int64_t rows, int cols, uint64_t seed);
+
+/// One row of Table 3: a named UCI dataset profile.
+struct UciProfile {
+  std::string name;
+  int64_t rows;
+  std::vector<ColumnSpec> specs;
+  /// FD count the paper reports for the real dataset (for EXPERIMENTS.md).
+  int64_t paper_fds;
+};
+
+/// The eleven UCI analogs of Table 3, in the paper's order.
+std::vector<UciProfile> UciProfiles();
+
+/// Materializes one Table 3 dataset analog. `rows_override` (if >= 0)
+/// builds a scaled-down instance: high cardinalities shrink proportionally
+/// so that e.g. a near-unique census weight column stays near-unique
+/// instead of becoming a key.
+Relation MakeUciLike(const UciProfile& profile, uint64_t seed,
+                     int64_t rows_override = -1);
+
+}  // namespace muds
+
+#endif  // MUDS_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,83 @@
+#include "core/holistic_fun.h"
+
+#include <gtest/gtest.h>
+
+#include "data/preprocess.h"
+#include "fd/fun.h"
+#include "ind/spider.h"
+#include "test_util.h"
+#include "ucc/ducc.h"
+
+namespace muds {
+namespace {
+
+Relation Deduped(uint64_t seed, int cols, int rows, int card) {
+  return DeduplicateRows(RandomRelation(seed, cols, rows, card)).relation;
+}
+
+TEST(HolisticFunTest, MatchesItsComponents) {
+  // §3.2: Holistic FUN is FUN + the UCC byproduct + SPIDER on the shared
+  // load. Its outputs must equal running the components directly.
+  for (uint64_t seed = 700; seed < 715; ++seed) {
+    Relation r = Deduped(seed, 6, 50, 4);
+    HolisticResult holistic = HolisticFun::Run(r);
+    FdDiscoveryResult fun = Fun::Discover(r);
+    EXPECT_EQ(holistic.fds, fun.fds) << "seed " << seed;
+    EXPECT_EQ(holistic.uccs, fun.uccs) << "seed " << seed;
+    EXPECT_EQ(holistic.inds, Spider::Discover(r)) << "seed " << seed;
+  }
+}
+
+TEST(HolisticFunTest, UccByproductMatchesDucc) {
+  // Lemma 3: all minimal UCCs are free sets, so FUN's traversal finds
+  // exactly DUCC's answer at no extra cost.
+  for (uint64_t seed = 720; seed < 735; ++seed) {
+    Relation r = Deduped(seed, 7, 60, 3);
+    HolisticResult holistic = HolisticFun::Run(r);
+    PliCache cache(r);
+    EXPECT_EQ(holistic.uccs, Ducc::Discover(r, &cache)) << "seed " << seed;
+  }
+}
+
+TEST(HolisticFunTest, ReportsPhaseTimings) {
+  Relation r = Deduped(1, 5, 40, 4);
+  HolisticResult holistic = HolisticFun::Run(r);
+  ASSERT_EQ(holistic.timings.entries().size(), 2u);
+  EXPECT_EQ(holistic.timings.entries()[0].first, "SPIDER");
+  EXPECT_EQ(holistic.timings.entries()[1].first, "FUN");
+}
+
+TEST(BaselineTest, MatchesHolisticFun) {
+  // Same metadata, different cost structure.
+  for (uint64_t seed = 740; seed < 750; ++seed) {
+    Relation r = Deduped(seed, 6, 45, 4);
+    HolisticResult baseline = Baseline::Run(r);
+    HolisticResult holistic = HolisticFun::Run(r);
+    EXPECT_EQ(baseline.fds, holistic.fds) << "seed " << seed;
+    EXPECT_EQ(baseline.uccs, holistic.uccs) << "seed " << seed;
+    EXPECT_EQ(baseline.inds, holistic.inds) << "seed " << seed;
+  }
+}
+
+TEST(BaselineTest, RunsThreeSeparatePhases) {
+  Relation r = Deduped(2, 5, 40, 4);
+  HolisticResult baseline = Baseline::Run(r);
+  ASSERT_EQ(baseline.timings.entries().size(), 3u);
+  EXPECT_EQ(baseline.timings.entries()[0].first, "SPIDER");
+  EXPECT_EQ(baseline.timings.entries()[1].first, "DUCC");
+  EXPECT_EQ(baseline.timings.entries()[2].first, "FUN");
+}
+
+TEST(BaselineTest, DegenerateRelations) {
+  Relation single = Relation::FromRows({"A", "B"}, {{"x", "y"}});
+  HolisticResult result = Baseline::Run(single);
+  EXPECT_EQ(result.uccs, (std::vector<ColumnSet>{ColumnSet()}));
+  EXPECT_EQ(result.fds,
+            (std::vector<Fd>{{ColumnSet(), 0}, {ColumnSet(), 1}}));
+  // Single row: every column contains the other's (single) value only if
+  // equal; here "x" != "y".
+  EXPECT_TRUE(result.inds.empty());
+}
+
+}  // namespace
+}  // namespace muds

@@ -1,0 +1,133 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace muds {
+namespace {
+
+TEST(CsvReaderTest, SimpleDocument) {
+  auto result = CsvReader::ReadString("A,B\n1,x\n2,y\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Relation& r = result.value();
+  EXPECT_EQ(r.NumColumns(), 2);
+  EXPECT_EQ(r.NumRows(), 2);
+  EXPECT_EQ(r.ColumnName(0), "A");
+  EXPECT_EQ(r.Value(1, 1), "y");
+}
+
+TEST(CsvReaderTest, MissingTrailingNewline) {
+  auto result = CsvReader::ReadString("A,B\n1,x");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumRows(), 1);
+  EXPECT_EQ(result.value().Value(0, 1), "x");
+}
+
+TEST(CsvReaderTest, CrLfLineEndings) {
+  auto result = CsvReader::ReadString("A,B\r\n1,x\r\n2,y\r\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumRows(), 2);
+  EXPECT_EQ(result.value().Value(0, 0), "1");
+}
+
+TEST(CsvReaderTest, QuotedFields) {
+  auto result = CsvReader::ReadString(
+      "A,B\n\"hello, world\",\"line\nbreak\"\n\"he said \"\"hi\"\"\",x\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Relation& r = result.value();
+  EXPECT_EQ(r.Value(0, 0), "hello, world");
+  EXPECT_EQ(r.Value(0, 1), "line\nbreak");
+  EXPECT_EQ(r.Value(1, 0), "he said \"hi\"");
+}
+
+TEST(CsvReaderTest, EmptyFieldsArePreserved) {
+  auto result = CsvReader::ReadString("A,B,C\n1,,3\n,,\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().Value(0, 1), "");
+  EXPECT_EQ(result.value().Value(1, 0), "");
+}
+
+TEST(CsvReaderTest, ArityMismatchIsParseError) {
+  auto result = CsvReader::ReadString("A,B\n1,2\n1,2,3\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvReaderTest, UnterminatedQuoteIsParseError) {
+  auto result = CsvReader::ReadString("A\n\"oops\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvReaderTest, EmptyInputIsParseError) {
+  EXPECT_FALSE(CsvReader::ReadString("").ok());
+}
+
+TEST(CsvReaderTest, HeaderOnlyYieldsEmptyRelation) {
+  auto result = CsvReader::ReadString("A,B\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumRows(), 0);
+  EXPECT_EQ(result.value().NumColumns(), 2);
+}
+
+TEST(CsvReaderTest, NoHeaderMode) {
+  CsvOptions options;
+  options.has_header = false;
+  auto result = CsvReader::ReadString("1,x\n2,y\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumRows(), 2);
+  EXPECT_EQ(result.value().ColumnName(0), "col0");
+  EXPECT_EQ(result.value().Value(0, 0), "1");
+}
+
+TEST(CsvReaderTest, CustomSeparator) {
+  CsvOptions options;
+  options.separator = ';';
+  auto result = CsvReader::ReadString("A;B\n1;2\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().Value(0, 1), "2");
+}
+
+TEST(CsvReaderTest, MaxRowsLimit) {
+  CsvOptions options;
+  options.max_rows = 2;
+  auto result = CsvReader::ReadString("A\n1\n2\n3\n4\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumRows(), 2);
+}
+
+TEST(CsvRoundTripTest, WriteThenReadPreservesContent) {
+  Relation original = Relation::FromRows(
+      {"name", "note"},
+      {{"alice", "likes, commas"}, {"bob", "quote \" here"}, {"eve", ""}});
+  const std::string text = CsvWriter::ToString(original);
+  auto result = CsvReader::ReadString(text);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Relation& r = result.value();
+  ASSERT_EQ(r.NumRows(), original.NumRows());
+  for (RowId row = 0; row < r.NumRows(); ++row) {
+    EXPECT_EQ(r.Row(row), original.Row(row));
+  }
+}
+
+TEST(CsvFileTest, WriteAndReadFile) {
+  const std::string path = ::testing::TempDir() + "/muds_csv_test.csv";
+  Relation original =
+      Relation::FromRows({"A", "B"}, {{"1", "x"}, {"2", "y"}});
+  ASSERT_TRUE(CsvWriter::WriteFile(original, path).ok());
+  auto result = CsvReader::ReadFile(path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumRows(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIoError) {
+  auto result = CsvReader::ReadFile("/nonexistent/muds/file.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace muds

@@ -1,0 +1,56 @@
+#include "data/metadata.h"
+
+#include <gtest/gtest.h>
+
+namespace muds {
+namespace {
+
+TEST(IndTest, OrderingAndEquality) {
+  EXPECT_EQ((Ind{0, 1}), (Ind{0, 1}));
+  EXPECT_FALSE((Ind{0, 1}) == (Ind{1, 0}));
+  EXPECT_TRUE((Ind{0, 2}) < (Ind{1, 0}));
+  EXPECT_TRUE((Ind{1, 0}) < (Ind{1, 2}));
+}
+
+TEST(FdTest, OrderingGroupsByRhsFirst) {
+  const Fd a{ColumnSet::Single(5), 0};
+  const Fd b{ColumnSet::Single(0), 1};
+  EXPECT_TRUE(a < b);  // rhs 0 before rhs 1 regardless of lhs.
+  const Fd c{ColumnSet::Single(1), 1};
+  EXPECT_TRUE(b < c || c < b);
+  EXPECT_EQ(b, (Fd{ColumnSet::Single(0), 1}));
+}
+
+TEST(CanonicalizeTest, IndsSortedAndDeduplicated) {
+  std::vector<Ind> inds = {{2, 0}, {0, 1}, {2, 0}, {0, 2}};
+  Canonicalize(&inds);
+  EXPECT_EQ(inds, (std::vector<Ind>{{0, 1}, {0, 2}, {2, 0}}));
+}
+
+TEST(CanonicalizeTest, ColumnSets) {
+  std::vector<ColumnSet> sets = {ColumnSet::FromIndices({1, 2}),
+                                 ColumnSet::Single(0),
+                                 ColumnSet::FromIndices({1, 2})};
+  Canonicalize(&sets);
+  EXPECT_EQ(sets.size(), 2u);
+}
+
+TEST(ToStringTest, MultiCharacterNamesGetSeparators) {
+  const std::vector<std::string> names = {"order_id", "city", "zip"};
+  EXPECT_EQ(ToString(Fd{ColumnSet::FromIndices({0, 1}), 2}, names),
+            "order_id,city -> zip");
+  EXPECT_EQ(ToString(Ind{2, 0}, names), "zip <= order_id");
+}
+
+TEST(ToStringTest, SingleCharacterNamesConcatenate) {
+  const std::vector<std::string> names = {"A", "B", "C", "D"};
+  EXPECT_EQ(ColumnSet::FromIndices({0, 2, 3}).ToString(names), "ACD");
+}
+
+TEST(ToStringTest, EmptyLhsRendersAsBraces) {
+  const std::vector<std::string> names = {"A"};
+  EXPECT_EQ(ToString(Fd{ColumnSet(), 0}, names), "{} -> A");
+}
+
+}  // namespace
+}  // namespace muds

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/profiler.h"
+#include "data/csv.h"
+
+namespace muds {
+namespace {
+
+// Two rows agree only on the (empty) null cells.
+constexpr char kNullHeavyCsv[] =
+    "A,B\n"
+    ",1\n"
+    ",2\n"
+    "x,3\n";
+
+TEST(NullSemanticsTest, NullEqualIsTheDefault) {
+  auto parsed = CsvReader::ReadString(kNullHeavyCsv);
+  ASSERT_TRUE(parsed.ok());
+  // Both null cells hold the same (empty) value.
+  EXPECT_EQ(parsed.value().Cardinality(0), 2);
+}
+
+TEST(NullSemanticsTest, NullUnequalMakesEveryNullDistinct) {
+  CsvOptions options;
+  options.nulls = NullSemantics::kNullUnequal;
+  auto parsed = CsvReader::ReadString(kNullHeavyCsv, options);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().Cardinality(0), 3);
+}
+
+TEST(NullSemanticsTest, SemanticsChangeDiscoveredUccs) {
+  ProfileOptions equal;
+  auto with_equal = ProfileCsvString(kNullHeavyCsv, equal);
+  ASSERT_TRUE(with_equal.ok());
+  // Under NULL = NULL, column A has a duplicate, so A alone is not unique.
+  EXPECT_EQ(with_equal.value().uccs,
+            (std::vector<ColumnSet>{ColumnSet::Single(1)}));
+
+  ProfileOptions unequal;
+  unequal.csv.nulls = NullSemantics::kNullUnequal;
+  auto with_unequal = ProfileCsvString(kNullHeavyCsv, unequal);
+  ASSERT_TRUE(with_unequal.ok());
+  // Under NULL ≠ NULL, both columns are keys.
+  EXPECT_EQ(with_unequal.value().uccs,
+            (std::vector<ColumnSet>{ColumnSet::Single(0),
+                                    ColumnSet::Single(1)}));
+}
+
+TEST(NullSemanticsTest, SemanticsChangeDiscoveredFds) {
+  // Under NULL = NULL the two null rows agree on A but differ in B, so
+  // A -> B fails; under NULL ≠ NULL no two rows agree on A at all.
+  ProfileOptions equal;
+  auto with_equal = ProfileCsvString(kNullHeavyCsv, equal);
+  const Fd a_to_b{ColumnSet::Single(0), 1};
+  const auto& eq_fds = with_equal.value().fds;
+  EXPECT_EQ(std::find(eq_fds.begin(), eq_fds.end(), a_to_b), eq_fds.end());
+
+  ProfileOptions unequal;
+  unequal.csv.nulls = NullSemantics::kNullUnequal;
+  auto with_unequal = ProfileCsvString(kNullHeavyCsv, unequal);
+  const auto& neq_fds = with_unequal.value().fds;
+  EXPECT_NE(std::find(neq_fds.begin(), neq_fds.end(), a_to_b),
+            neq_fds.end());
+}
+
+TEST(NullSemanticsTest, CustomNullToken) {
+  CsvOptions options;
+  options.null_token = "?";
+  options.nulls = NullSemantics::kNullUnequal;
+  auto parsed = CsvReader::ReadString("A\n?\n?\nx\n", options);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().Cardinality(0), 3);
+  // Empty strings are ordinary values when the token is "?".
+  auto parsed2 = CsvReader::ReadString("A\n\n\nx\n", options);
+  ASSERT_TRUE(parsed2.ok());
+  EXPECT_EQ(parsed2.value().Cardinality(0), 2);
+}
+
+TEST(NullSemanticsTest, IndsSeeDistinctNulls) {
+  // Under NULL ≠ NULL, a null-bearing column is not included in anything.
+  CsvOptions options;
+  options.nulls = NullSemantics::kNullUnequal;
+  ProfileOptions profile;
+  profile.csv = options;
+  auto result = ProfileCsvString("A,B\n1,1\n,2\n", profile);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().inds.empty());
+}
+
+}  // namespace
+}  // namespace muds

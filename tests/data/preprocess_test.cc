@@ -1,0 +1,68 @@
+#include "data/preprocess.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace muds {
+namespace {
+
+TEST(DeduplicateTest, RemovesExactDuplicatesKeepingFirst) {
+  Relation r = Relation::FromRows({"A", "B"},
+                                  {{"1", "x"},
+                                   {"2", "y"},
+                                   {"1", "x"},
+                                   {"2", "z"},
+                                   {"1", "x"}});
+  DeduplicateResult result = DeduplicateRows(r);
+  EXPECT_EQ(result.duplicates_removed, 2);
+  ASSERT_EQ(result.relation.NumRows(), 3);
+  EXPECT_EQ(result.relation.Row(0), (std::vector<std::string>{"1", "x"}));
+  EXPECT_EQ(result.relation.Row(1), (std::vector<std::string>{"2", "y"}));
+  EXPECT_EQ(result.relation.Row(2), (std::vector<std::string>{"2", "z"}));
+}
+
+TEST(DeduplicateTest, NoDuplicatesIsIdentity) {
+  Relation r = Relation::FromRows({"A"}, {{"1"}, {"2"}, {"3"}});
+  DeduplicateResult result = DeduplicateRows(r);
+  EXPECT_EQ(result.duplicates_removed, 0);
+  EXPECT_EQ(result.relation.NumRows(), 3);
+}
+
+TEST(DeduplicateTest, AllRowsIdentical) {
+  Relation r = Relation::FromRows({"A", "B"},
+                                  {{"k", "k"}, {"k", "k"}, {"k", "k"}});
+  DeduplicateResult result = DeduplicateRows(r);
+  EXPECT_EQ(result.duplicates_removed, 2);
+  EXPECT_EQ(result.relation.NumRows(), 1);
+}
+
+TEST(DeduplicateTest, EmptyRelation) {
+  Relation r = Relation::FromRows({"A"}, {});
+  DeduplicateResult result = DeduplicateRows(r);
+  EXPECT_EQ(result.duplicates_removed, 0);
+  EXPECT_EQ(result.relation.NumRows(), 0);
+}
+
+TEST(DeduplicateTest, RowsDifferingInOneColumnSurvive) {
+  Relation r = Relation::FromRows({"A", "B", "C"},
+                                  {{"1", "1", "1"}, {"1", "1", "2"}});
+  EXPECT_EQ(DeduplicateRows(r).duplicates_removed, 0);
+}
+
+TEST(DeduplicateTest, LargeRandomRelationMatchesNaive) {
+  Relation r = RandomRelation(17, 4, 500, 3);
+  DeduplicateResult result = DeduplicateRows(r);
+  // Count distinct rows naively.
+  std::set<std::vector<std::string>> distinct;
+  for (RowId row = 0; row < r.NumRows(); ++row) distinct.insert(r.Row(row));
+  EXPECT_EQ(result.relation.NumRows(),
+            static_cast<RowId>(distinct.size()));
+  EXPECT_EQ(result.duplicates_removed,
+            r.NumRows() - static_cast<RowId>(distinct.size()));
+  // Deduped relation has no duplicates.
+  EXPECT_EQ(DeduplicateRows(result.relation).duplicates_removed, 0);
+}
+
+}  // namespace
+}  // namespace muds

@@ -1,0 +1,98 @@
+#include "data/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace muds {
+namespace {
+
+Relation SampleRelation() {
+  return Relation::FromRows({"A", "B", "C"},
+                            {{"x", "1", "k"},
+                             {"y", "1", "k"},
+                             {"x", "2", "k"},
+                             {"z", "2", "k"}},
+                            "sample");
+}
+
+TEST(RelationTest, BasicAccessors) {
+  Relation r = SampleRelation();
+  EXPECT_EQ(r.name(), "sample");
+  EXPECT_EQ(r.NumRows(), 4);
+  EXPECT_EQ(r.NumColumns(), 3);
+  EXPECT_EQ(r.ColumnName(0), "A");
+  EXPECT_EQ(r.Value(0, 0), "x");
+  EXPECT_EQ(r.Value(3, 0), "z");
+  EXPECT_EQ(r.Value(2, 1), "2");
+  EXPECT_EQ(r.Row(1), (std::vector<std::string>{"y", "1", "k"}));
+}
+
+TEST(RelationTest, DictionaryIsSortedAndDeduplicated) {
+  Relation r = SampleRelation();
+  const Column& a = r.GetColumn(0);
+  EXPECT_EQ(a.dictionary, (std::vector<std::string>{"x", "y", "z"}));
+  EXPECT_EQ(r.Cardinality(0), 3);
+  EXPECT_EQ(r.Cardinality(1), 2);
+  EXPECT_EQ(r.Cardinality(2), 1);
+  // Codes reflect sorted ranks.
+  EXPECT_EQ(r.Code(0, 0), 0);  // "x"
+  EXPECT_EQ(r.Code(1, 0), 1);  // "y"
+  EXPECT_EQ(r.Code(3, 0), 2);  // "z"
+}
+
+TEST(RelationTest, ConstantAndActiveColumns) {
+  Relation r = SampleRelation();
+  EXPECT_FALSE(r.IsConstantColumn(0));
+  EXPECT_TRUE(r.IsConstantColumn(2));
+  EXPECT_EQ(r.ActiveColumns(), ColumnSet::FromIndices({0, 1}));
+}
+
+TEST(RelationTest, SelectRows) {
+  Relation r = SampleRelation();
+  Relation sub = r.SelectRows({0, 2});
+  EXPECT_EQ(sub.NumRows(), 2);
+  EXPECT_EQ(sub.Value(0, 0), "x");
+  EXPECT_EQ(sub.Value(1, 1), "2");
+  // Dictionaries shrink to the surviving values.
+  EXPECT_EQ(sub.Cardinality(0), 1);
+}
+
+TEST(RelationTest, SelectColumns) {
+  Relation r = SampleRelation();
+  Relation sub = r.SelectColumns({2, 0});
+  EXPECT_EQ(sub.NumColumns(), 2);
+  EXPECT_EQ(sub.ColumnName(0), "C");
+  EXPECT_EQ(sub.ColumnName(1), "A");
+  EXPECT_EQ(sub.NumRows(), 4);
+  EXPECT_EQ(sub.Value(3, 1), "z");
+}
+
+TEST(RelationTest, EmptyRelation) {
+  Relation r = Relation::FromRows({"A", "B"}, {});
+  EXPECT_EQ(r.NumRows(), 0);
+  EXPECT_EQ(r.NumColumns(), 2);
+  EXPECT_TRUE(r.IsConstantColumn(0));
+  EXPECT_TRUE(r.ActiveColumns().Empty());
+}
+
+TEST(RelationBuilderTest, BuildsIncrementally) {
+  RelationBuilder builder({"A"}, "t");
+  builder.AddRow({"b"});
+  builder.AddRow({"a"});
+  builder.AddRow({"b"});
+  EXPECT_EQ(builder.NumRows(), 3);
+  Relation r = std::move(builder).Build();
+  EXPECT_EQ(r.NumRows(), 3);
+  EXPECT_EQ(r.GetColumn(0).dictionary,
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(r.Code(0, 0), 1);
+  EXPECT_EQ(r.Code(1, 0), 0);
+}
+
+TEST(RelationTest, EmptyStringIsAnOrdinaryValue) {
+  Relation r = Relation::FromRows({"A"}, {{""}, {"x"}, {""}});
+  EXPECT_EQ(r.Cardinality(0), 2);
+  EXPECT_EQ(r.Value(0, 0), "");
+}
+
+}  // namespace
+}  // namespace muds

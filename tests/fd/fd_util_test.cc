@@ -1,0 +1,77 @@
+#include "fd/fd_util.h"
+
+#include <gtest/gtest.h>
+
+#include "pli/pli_cache.h"
+
+namespace muds {
+namespace {
+
+Relation SampleRelation() {
+  // A -> B holds; B -> A does not; C is constant.
+  return Relation::FromRows({"A", "B", "C"},
+                            {{"a1", "b1", "k"},
+                             {"a2", "b1", "k"},
+                             {"a3", "b2", "k"}});
+}
+
+TEST(FdUtilTest, ConstantColumnFds) {
+  Relation r = SampleRelation();
+  const auto fds = ConstantColumnFds(r);
+  ASSERT_EQ(fds.size(), 1u);
+  EXPECT_EQ(fds[0].rhs, 2);
+  EXPECT_TRUE(fds[0].lhs.Empty());
+}
+
+TEST(FdUtilTest, ConstantColumnFdsOnEmptyRelation) {
+  Relation r = Relation::FromRows({"A", "B"}, {});
+  EXPECT_EQ(ConstantColumnFds(r).size(), 2u);
+}
+
+TEST(FdUtilTest, CheckFdAgainstPli) {
+  Relation r = SampleRelation();
+  PliCache cache(r);
+  EXPECT_TRUE(CheckFd(&cache, ColumnSet::Single(0), 1));
+  EXPECT_FALSE(CheckFd(&cache, ColumnSet::Single(1), 0));
+  // Constant right-hand side is determined by anything, even ∅.
+  EXPECT_TRUE(CheckFd(&cache, ColumnSet(), 2));
+  EXPECT_FALSE(CheckFd(&cache, ColumnSet(), 0));
+}
+
+TEST(FdUtilTest, CheckFdByDefinitionMatchesPliCheck) {
+  Relation r = SampleRelation();
+  PliCache cache(r);
+  for (int rhs = 0; rhs < r.NumColumns(); ++rhs) {
+    for (int mask = 0; mask < 8; ++mask) {
+      ColumnSet lhs;
+      for (int b = 0; b < 3; ++b) {
+        if ((mask >> b) & 1) lhs.Add(b);
+      }
+      if (lhs.Contains(rhs)) continue;
+      EXPECT_EQ(CheckFd(&cache, lhs, rhs),
+                CheckFdByDefinition(r, lhs, rhs))
+          << lhs.ToString() << " -> " << rhs;
+    }
+  }
+}
+
+TEST(FdUtilTest, MetadataToString) {
+  const std::vector<std::string> names = {"A", "B", "C"};
+  EXPECT_EQ(ToString(Fd{ColumnSet::FromIndices({0, 1}), 2}, names),
+            "AB -> C");
+  EXPECT_EQ(ToString(Fd{ColumnSet(), 1}, names), "{} -> B");
+  EXPECT_EQ(ToString(Ind{0, 2}, names), "A <= C");
+}
+
+TEST(FdUtilTest, CanonicalizeSortsAndDeduplicates) {
+  std::vector<Fd> fds = {{ColumnSet::Single(1), 2},
+                         {ColumnSet::Single(0), 1},
+                         {ColumnSet::Single(1), 2}};
+  Canonicalize(&fds);
+  ASSERT_EQ(fds.size(), 2u);
+  EXPECT_EQ(fds[0].rhs, 1);
+  EXPECT_EQ(fds[1].rhs, 2);
+}
+
+}  // namespace
+}  // namespace muds

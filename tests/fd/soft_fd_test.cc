@@ -1,0 +1,139 @@
+#include "fd/soft_fd.h"
+
+#include <gtest/gtest.h>
+
+#include "fd/fd_util.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace muds {
+namespace {
+
+const SoftFd* Find(const std::vector<SoftFd>& fds, int lhs, int rhs) {
+  for (const SoftFd& fd : fds) {
+    if (fd.lhs == lhs && fd.rhs == rhs) return &fd;
+  }
+  return nullptr;
+}
+
+TEST(CordsTest, ExactFdHasStrengthOne) {
+  // B is a function of A.
+  std::vector<ColumnSpec> specs = {
+      {ColumnSpec::Kind::kCategorical, 15, 1, {}},
+      {ColumnSpec::Kind::kDerived, 8, 1, {0}},
+  };
+  Relation r = MakeFromSpecs(500, specs, 3, "t");
+  const auto fds = Cords::Discover(r);
+  const SoftFd* fd = Find(fds, 0, 1);
+  ASSERT_NE(fd, nullptr);
+  EXPECT_DOUBLE_EQ(fd->strength, 1.0);
+  EXPECT_GT(fd->cramers_v, 0.9);
+}
+
+TEST(CordsTest, NoisyFdHasHighButImperfectStrength) {
+  std::vector<ColumnSpec> specs = {
+      {ColumnSpec::Kind::kCategorical, 15, 1, {}},
+      {ColumnSpec::Kind::kDerived, 8, 1, {0}},
+  };
+  specs[1].noise = 0.05;
+  Relation r = MakeFromSpecs(2000, specs, 4, "t");
+  Cords::Options options;
+  options.min_strength = 0.8;
+  const auto fds = Cords::Discover(r, options);
+  const SoftFd* fd = Find(fds, 0, 1);
+  ASSERT_NE(fd, nullptr);
+  EXPECT_LT(fd->strength, 1.0);
+  EXPECT_GT(fd->strength, 0.85);
+}
+
+TEST(CordsTest, IndependentColumnsAreNotReported) {
+  Relation r = MakeCategorical(2000, {20, 20}, 5, "t");
+  Cords::Options options;
+  options.min_strength = 0.5;
+  const auto fds = Cords::Discover(r, options);
+  const SoftFd* fd = Find(fds, 0, 1);
+  if (fd != nullptr) {
+    // Independent card-20 columns explain at most ~1/20 + noise.
+    EXPECT_LT(fd->strength, 0.5);
+  }
+  // And their association is near zero when computed on the full table.
+  options.min_strength = 0.0;
+  options.sample_size = 2000;
+  const auto all = Cords::Discover(r, options);
+  const SoftFd* pair = Find(all, 0, 1);
+  ASSERT_NE(pair, nullptr);
+  EXPECT_LT(pair->cramers_v, 0.35);
+}
+
+TEST(CordsTest, ConstantColumnsAreSkipped) {
+  Relation r = Relation::FromRows({"C", "A"},
+                                  {{"k", "1"}, {"k", "2"}, {"k", "3"}});
+  Cords::Options options;
+  options.min_strength = 0.0;
+  const auto fds = Cords::Discover(r, options);
+  EXPECT_TRUE(fds.empty());
+}
+
+TEST(CordsTest, SamplingIsDeterministicAndBounded) {
+  Relation r = MakeCategorical(5000, {50, 10, 5}, 6, "t");
+  Cords::Options options;
+  options.sample_size = 500;
+  options.min_strength = 0.0;
+  Cords::Stats stats;
+  const auto a = Cords::Discover(r, options, &stats);
+  EXPECT_EQ(stats.sampled_rows, 500);
+  EXPECT_EQ(stats.pairs_analyzed, 6);
+  const auto b = Cords::Discover(r, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+    EXPECT_DOUBLE_EQ(a[i].strength, b[i].strength);
+  }
+}
+
+TEST(CordsTest, ExactUnaryFdsAlwaysSurfaceAtFullStrength) {
+  // Property: every exact unary FD of the instance must appear with
+  // strength exactly 1.0 when profiling without sampling.
+  Relation r = MakeNcvoterLike(800, 12, 9);
+  Cords::Options options;
+  options.sample_size = r.NumRows();
+  options.min_strength = 1.0;
+  const auto soft = Cords::Discover(r, options);
+  PliCache cache(r);
+  for (int a = 0; a < r.NumColumns(); ++a) {
+    if (r.Cardinality(a) <= 1) continue;
+    for (int b = 0; b < r.NumColumns(); ++b) {
+      if (a == b || r.Cardinality(b) <= 1) continue;
+      if (CheckFd(&cache, ColumnSet::Single(a), b)) {
+        const SoftFd* fd = Find(soft, a, b);
+        ASSERT_NE(fd, nullptr) << a << "->" << b;
+        EXPECT_DOUBLE_EQ(fd->strength, 1.0);
+      }
+    }
+  }
+}
+
+TEST(CordsTest, ResultsSortedByStrength) {
+  Relation r = MakeNcvoterLike(600, 14, 2);
+  Cords::Options options;
+  options.min_strength = 0.2;
+  const auto fds = Cords::Discover(r, options);
+  for (size_t i = 1; i < fds.size(); ++i) {
+    EXPECT_GE(fds[i - 1].strength, fds[i].strength);
+  }
+}
+
+TEST(CordsTest, ToStringMentionsBothColumns) {
+  SoftFd fd;
+  fd.lhs = 0;
+  fd.rhs = 1;
+  fd.strength = 0.95;
+  fd.cramers_v = 0.5;
+  const std::string text = ToString(fd, {"city", "zip"});
+  EXPECT_NE(text.find("city"), std::string::npos);
+  EXPECT_NE(text.find("zip"), std::string::npos);
+  EXPECT_NE(text.find("0.950"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace muds

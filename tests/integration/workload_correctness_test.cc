@@ -1,0 +1,85 @@
+// Medium-scale cross-algorithm agreement on the structured workload
+// generators (the bench datasets): no brute force here — TANE, FUN, and
+// MUDS must agree with each other on instances far larger than the
+// randomized differential suite covers.
+
+#include <gtest/gtest.h>
+
+#include "core/muds.h"
+#include "data/preprocess.h"
+#include "fd/fun.h"
+#include "fd/tane.h"
+#include "workload/generators.h"
+
+namespace muds {
+namespace {
+
+void ExpectAllAgree(const Relation& raw, const std::string& label) {
+  Relation r = DeduplicateRows(raw).relation;
+  FdDiscoveryResult tane = Tane::Discover(r);
+  FdDiscoveryResult fun = Fun::Discover(r);
+  MudsResult muds = Muds::Run(r);
+
+  EXPECT_EQ(tane.fds, fun.fds) << label << ": TANE vs FUN";
+  EXPECT_EQ(tane.fds, muds.fds) << label << ": TANE vs MUDS";
+  EXPECT_EQ(tane.uccs, fun.uccs) << label << ": TANE vs FUN uccs";
+  EXPECT_EQ(tane.uccs, muds.uccs) << label << ": TANE vs MUDS uccs";
+}
+
+TEST(WorkloadCorrectnessTest, UniprotLike) {
+  ExpectAllAgree(MakeUniprotLike(3000, 10, 3), "uniprot");
+}
+
+TEST(WorkloadCorrectnessTest, IonosphereLike) {
+  ExpectAllAgree(MakeIonosphereLike(351, 14, 3), "ionosphere");
+}
+
+TEST(WorkloadCorrectnessTest, NcvoterLike) {
+  ExpectAllAgree(MakeNcvoterLike(2000, 18, 3), "ncvoter");
+}
+
+TEST(WorkloadCorrectnessTest, CategoricalLowCardinality) {
+  ExpectAllAgree(MakeCategorical(250, {3, 2, 4, 3, 2, 3, 4, 2, 3}, 5, "low"),
+                 "categorical-low");
+}
+
+TEST(WorkloadCorrectnessTest, SkewedColumns) {
+  std::vector<ColumnSpec> specs;
+  for (int i = 0; i < 8; ++i) {
+    ColumnSpec spec;
+    spec.kind = ColumnSpec::Kind::kCategorical;
+    spec.cardinality = 10;
+    spec.skew = 2.0;
+    specs.push_back(spec);
+  }
+  ExpectAllAgree(MakeFromSpecs(400, specs, 6, "skewed"), "skewed");
+}
+
+TEST(WorkloadCorrectnessTest, NoisyDerivedColumns) {
+  std::vector<ColumnSpec> specs;
+  specs.push_back({ColumnSpec::Kind::kCategorical, 12, 1, {}});
+  specs.push_back({ColumnSpec::Kind::kCategorical, 12, 1, {}});
+  for (int i = 2; i < 9; ++i) {
+    ColumnSpec spec{ColumnSpec::Kind::kDerived, 10, 1, {0, 1}};
+    spec.noise = 0.3;
+    specs.push_back(spec);
+  }
+  ExpectAllAgree(MakeFromSpecs(350, specs, 8, "noisy"), "noisy-derived");
+}
+
+// Every Table 3 analog at reduced size; parameterized so each dataset is
+// its own test case.
+class UciAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UciAgreementTest, AlgorithmsAgree) {
+  const auto profiles = UciProfiles();
+  const UciProfile& profile =
+      profiles[static_cast<size_t>(GetParam()) % profiles.size()];
+  const int64_t rows = std::min<int64_t>(profile.rows, 1200);
+  ExpectAllAgree(MakeUciLike(profile, 17, rows), profile.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table3, UciAgreementTest, ::testing::Range(0, 11));
+
+}  // namespace
+}  // namespace muds

@@ -1,0 +1,112 @@
+// Property tests for the PLI substrate: intersection must agree with
+// direct construction from the projected rows, in any association order.
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pli/pli_cache.h"
+#include "pli/position_list_index.h"
+#include "test_util.h"
+
+namespace muds {
+namespace {
+
+// Ground truth: distinct count and duplicate-row count of a projection,
+// straight from the definition.
+struct Projection {
+  int64_t distinct = 0;
+  int64_t clustered_rows = 0;
+  bool unique = true;
+};
+
+Projection ProjectDirectly(const Relation& relation,
+                           const ColumnSet& columns) {
+  std::map<std::vector<int32_t>, int64_t> groups;
+  const std::vector<int> indices = columns.ToIndices();
+  for (RowId row = 0; row < relation.NumRows(); ++row) {
+    std::vector<int32_t> key;
+    for (int c : indices) key.push_back(relation.Code(row, c));
+    ++groups[key];
+  }
+  Projection p;
+  p.distinct = static_cast<int64_t>(groups.size());
+  if (relation.NumRows() == 0) p.distinct = groups.empty() ? 0 : p.distinct;
+  for (const auto& [key, count] : groups) {
+    (void)key;
+    if (count >= 2) {
+      p.clustered_rows += count;
+      p.unique = false;
+    }
+  }
+  return p;
+}
+
+class PliPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PliPropertyTest, IntersectionMatchesDirectProjection) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Relation r = RandomRelation(seed, 5, 40 + static_cast<int>(seed % 40),
+                              2 + static_cast<int>(seed % 6));
+  PliCache cache(r);
+  // All subsets of the 5 columns.
+  for (uint64_t mask = 1; mask < 32; ++mask) {
+    ColumnSet columns;
+    for (int b = 0; b < 5; ++b) {
+      if ((mask >> b) & 1) columns.Add(b);
+    }
+    const auto pli = cache.Get(columns);
+    const Projection expected = ProjectDirectly(r, columns);
+    EXPECT_EQ(pli->DistinctCount(), expected.distinct)
+        << columns.ToString() << " seed " << seed;
+    EXPECT_EQ(pli->NumNonSingletonRows(), expected.clustered_rows)
+        << columns.ToString() << " seed " << seed;
+    EXPECT_EQ(pli->IsUnique(), expected.unique)
+        << columns.ToString() << " seed " << seed;
+  }
+}
+
+TEST_P(PliPropertyTest, IntersectionIsAssociativeAndCommutative) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam()) + 500;
+  Relation r = RandomRelation(seed, 3, 60, 4);
+  Pli a = Pli::FromColumn(r.GetColumn(0), r.NumRows());
+  Pli b = Pli::FromColumn(r.GetColumn(1), r.NumRows());
+  Pli c = Pli::FromColumn(r.GetColumn(2), r.NumRows());
+
+  Pli ab_c = a.Intersect(b).Intersect(c);
+  Pli a_bc = a.Intersect(b.Intersect(c));
+  Pli cba = c.Intersect(b).Intersect(a);
+  EXPECT_EQ(ab_c.DistinctCount(), a_bc.DistinctCount());
+  EXPECT_EQ(ab_c.DistinctCount(), cba.DistinctCount());
+  EXPECT_EQ(ab_c.NumClusters(), a_bc.NumClusters());
+  EXPECT_EQ(ab_c.NumNonSingletonRows(), cba.NumNonSingletonRows());
+}
+
+TEST_P(PliPropertyTest, RefinesAgreesWithDefinition) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam()) + 900;
+  Relation r = RandomRelation(seed, 4, 30, 3);
+  PliCache cache(r);
+  for (uint64_t mask = 1; mask < 16; ++mask) {
+    ColumnSet lhs;
+    for (int b = 0; b < 4; ++b) {
+      if ((mask >> b) & 1) lhs.Add(b);
+    }
+    for (int rhs = 0; rhs < 4; ++rhs) {
+      if (lhs.Contains(rhs)) continue;
+      const bool via_pli =
+          cache.Get(lhs)->Refines(r.GetColumn(rhs));
+      // Definition: projecting lhs ∪ {rhs} adds no distinct values.
+      const bool via_counts =
+          ProjectDirectly(r, lhs).distinct ==
+          ProjectDirectly(r, lhs.With(rhs)).distinct;
+      EXPECT_EQ(via_pli, via_counts)
+          << lhs.ToString() << " -> " << rhs << " seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PliPropertyTest, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace muds

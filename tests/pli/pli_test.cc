@@ -1,0 +1,156 @@
+#include "pli/position_list_index.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "data/relation.h"
+#include "pli/pli_cache.h"
+
+namespace muds {
+namespace {
+
+// Relation from §2.2-style examples:
+//   A B C
+//   a 1 x
+//   a 1 y
+//   b 2 x
+//   b 2 y
+//   c 3 x
+Relation SampleRelation() {
+  return Relation::FromRows({"A", "B", "C"},
+                            {{"a", "1", "x"},
+                             {"a", "1", "y"},
+                             {"b", "2", "x"},
+                             {"b", "2", "y"},
+                             {"c", "3", "x"}});
+}
+
+TEST(PliTest, FromColumnStripsSingletons) {
+  Relation r = SampleRelation();
+  Pli pli = Pli::FromColumn(r.GetColumn(0), r.NumRows());
+  // Clusters {0,1} and {2,3}; the singleton {4} is stripped.
+  EXPECT_EQ(pli.NumClusters(), 2);
+  EXPECT_EQ(pli.NumNonSingletonRows(), 4);
+  EXPECT_EQ(pli.DistinctCount(), 3);
+  EXPECT_FALSE(pli.IsUnique());
+}
+
+TEST(PliTest, UniqueColumn) {
+  Relation r = Relation::FromRows({"K"}, {{"1"}, {"2"}, {"3"}});
+  Pli pli = Pli::FromColumn(r.GetColumn(0), r.NumRows());
+  EXPECT_TRUE(pli.IsUnique());
+  EXPECT_EQ(pli.NumClusters(), 0);
+  EXPECT_EQ(pli.DistinctCount(), 3);
+}
+
+TEST(PliTest, ConstantColumn) {
+  Relation r = Relation::FromRows({"C"}, {{"k"}, {"k"}, {"k"}});
+  Pli pli = Pli::FromColumn(r.GetColumn(0), r.NumRows());
+  EXPECT_EQ(pli.NumClusters(), 1);
+  EXPECT_EQ(pli.DistinctCount(), 1);
+}
+
+TEST(PliTest, ForEmptySet) {
+  Pli pli = Pli::ForEmptySet(5);
+  EXPECT_EQ(pli.NumClusters(), 1);
+  EXPECT_EQ(pli.DistinctCount(), 1);
+  EXPECT_FALSE(pli.IsUnique());
+  // Degenerate relations: 0 or 1 rows make even the empty set unique.
+  EXPECT_TRUE(Pli::ForEmptySet(1).IsUnique());
+  EXPECT_TRUE(Pli::ForEmptySet(0).IsUnique());
+}
+
+TEST(PliTest, IntersectMatchesDirectConstruction) {
+  Relation r = SampleRelation();
+  Pli a = Pli::FromColumn(r.GetColumn(0), r.NumRows());
+  Pli c = Pli::FromColumn(r.GetColumn(2), r.NumRows());
+  Pli ac = a.Intersect(c);
+  // AC projections: (a,x),(a,y),(b,x),(b,y),(c,x) — all distinct.
+  EXPECT_TRUE(ac.IsUnique());
+  EXPECT_EQ(ac.DistinctCount(), 5);
+
+  Pli b = Pli::FromColumn(r.GetColumn(1), r.NumRows());
+  Pli ab = a.Intersect(b);
+  // A and B partition rows identically.
+  EXPECT_EQ(ab.NumClusters(), 2);
+  EXPECT_EQ(ab.DistinctCount(), 3);
+}
+
+TEST(PliTest, IntersectIsCommutative) {
+  Relation r = SampleRelation();
+  Pli a = Pli::FromColumn(r.GetColumn(0), r.NumRows());
+  Pli c = Pli::FromColumn(r.GetColumn(2), r.NumRows());
+  Pli ac = a.Intersect(c);
+  Pli ca = c.Intersect(a);
+  EXPECT_EQ(ac.DistinctCount(), ca.DistinctCount());
+  EXPECT_EQ(ac.NumClusters(), ca.NumClusters());
+}
+
+TEST(PliTest, RefinesDetectsFds) {
+  Relation r = SampleRelation();
+  Pli a = Pli::FromColumn(r.GetColumn(0), r.NumRows());
+  // A -> B holds (a↦1, b↦2, c↦3); A -> C does not (rows 0,1 differ in C).
+  EXPECT_TRUE(a.Refines(r.GetColumn(1)));
+  EXPECT_FALSE(a.Refines(r.GetColumn(2)));
+  // The empty-set PLI refines only constant columns.
+  Pli empty = Pli::ForEmptySet(r.NumRows());
+  EXPECT_FALSE(empty.Refines(r.GetColumn(0)));
+}
+
+TEST(PliTest, FillProbeTable) {
+  Relation r = SampleRelation();
+  Pli a = Pli::FromColumn(r.GetColumn(0), r.NumRows());
+  std::vector<int32_t> probe;
+  a.FillProbeTable(&probe);
+  ASSERT_EQ(probe.size(), 5u);
+  EXPECT_EQ(probe[0], probe[1]);
+  EXPECT_EQ(probe[2], probe[3]);
+  EXPECT_NE(probe[0], probe[2]);
+  EXPECT_EQ(probe[4], -1);  // Singleton cluster is stripped.
+}
+
+TEST(PliCacheTest, SinglesPrebuiltAndMultisBuiltOnDemand) {
+  Relation r = SampleRelation();
+  PliCache cache(r);
+  EXPECT_EQ(cache.NumIntersects(), 0);
+  auto a = cache.GetIfCached(ColumnSet::Single(0));
+  ASSERT_NE(a, nullptr);
+
+  auto ac = cache.Get(ColumnSet::FromIndices({0, 2}));
+  EXPECT_TRUE(ac->IsUnique());
+  EXPECT_EQ(cache.NumIntersects(), 1);
+  // Second request hits the cache.
+  cache.Get(ColumnSet::FromIndices({0, 2}));
+  EXPECT_EQ(cache.NumIntersects(), 1);
+}
+
+TEST(PliCacheTest, EmptySetPli) {
+  Relation r = SampleRelation();
+  PliCache cache(r);
+  auto empty = cache.Get(ColumnSet());
+  EXPECT_EQ(empty->DistinctCount(), 1);
+}
+
+TEST(PliCacheTest, PrefixesAreCached) {
+  Relation r = SampleRelation();
+  PliCache cache(r);
+  cache.Get(ColumnSet::FromIndices({0, 1, 2}));
+  EXPECT_NE(cache.GetIfCached(ColumnSet::FromIndices({0, 1})), nullptr);
+  EXPECT_EQ(cache.GetIfCached(ColumnSet::FromIndices({1, 2})), nullptr);
+}
+
+TEST(PliCacheTest, PutAndSize) {
+  Relation r = SampleRelation();
+  PliCache cache(r);
+  const size_t initial = cache.Size();
+  cache.Put(ColumnSet::FromIndices({1, 2}),
+            std::make_shared<Pli>(
+                Pli::FromColumn(r.GetColumn(1), r.NumRows())
+                    .Intersect(Pli::FromColumn(r.GetColumn(2), r.NumRows()))));
+  EXPECT_EQ(cache.Size(), initial + 1);
+  EXPECT_NE(cache.GetIfCached(ColumnSet::FromIndices({1, 2})), nullptr);
+}
+
+}  // namespace
+}  // namespace muds

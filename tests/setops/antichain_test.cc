@@ -1,0 +1,92 @@
+#include "setops/antichain.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace muds {
+namespace {
+
+ColumnSet Set(std::vector<int> indices) {
+  return ColumnSet::FromIndices(indices);
+}
+
+TEST(MinimalSetCollectionTest, RejectsDominatedInsertions) {
+  MinimalSetCollection c;
+  EXPECT_TRUE(c.Insert(Set({1, 2})));
+  EXPECT_FALSE(c.Insert(Set({1, 2})));        // Duplicate.
+  EXPECT_FALSE(c.Insert(Set({1, 2, 3})));     // Superset of a member.
+  EXPECT_TRUE(c.Insert(Set({4})));
+  EXPECT_EQ(c.Size(), 2u);
+}
+
+TEST(MinimalSetCollectionTest, EvictsSupersetsOnInsert) {
+  MinimalSetCollection c;
+  c.Insert(Set({1, 2, 3}));
+  c.Insert(Set({1, 4}));
+  EXPECT_TRUE(c.Insert(Set({1})));  // Dominates both.
+  auto all = c.CollectAll();
+  EXPECT_EQ(all, (std::vector<ColumnSet>{Set({1})}));
+}
+
+TEST(MinimalSetCollectionTest, SubsetQueries) {
+  MinimalSetCollection c;
+  c.Insert(Set({1, 2}));
+  c.Insert(Set({3}));
+  EXPECT_TRUE(c.ContainsSubsetOf(Set({1, 2, 9})));
+  EXPECT_TRUE(c.ContainsSubsetOf(Set({3})));
+  EXPECT_FALSE(c.ContainsSubsetOf(Set({1, 9})));
+  EXPECT_TRUE(c.ContainsSupersetOf(Set({1})));
+  EXPECT_FALSE(c.ContainsSupersetOf(Set({9})));
+}
+
+TEST(MinimalSetCollectionTest, EmptySetDominatesEverything) {
+  MinimalSetCollection c;
+  c.Insert(Set({1}));
+  EXPECT_TRUE(c.Insert(ColumnSet()));
+  EXPECT_EQ(c.CollectAll(), (std::vector<ColumnSet>{ColumnSet()}));
+  EXPECT_FALSE(c.Insert(Set({2})));
+}
+
+TEST(MaximalSetCollectionTest, RejectsDominatedInsertions) {
+  MaximalSetCollection c;
+  EXPECT_TRUE(c.Insert(Set({1, 2, 3})));
+  EXPECT_FALSE(c.Insert(Set({1, 2})));     // Subset of a member.
+  EXPECT_FALSE(c.Insert(Set({1, 2, 3})));  // Duplicate.
+  EXPECT_TRUE(c.Insert(Set({4, 5})));
+  EXPECT_EQ(c.Size(), 2u);
+}
+
+TEST(MaximalSetCollectionTest, EvictsSubsetsOnInsert) {
+  MaximalSetCollection c;
+  c.Insert(Set({1}));
+  c.Insert(Set({2}));
+  EXPECT_TRUE(c.Insert(Set({1, 2, 3})));
+  EXPECT_EQ(c.CollectAll(), (std::vector<ColumnSet>{Set({1, 2, 3})}));
+}
+
+TEST(MaximalSetCollectionTest, CoverQueries) {
+  MaximalSetCollection c;
+  c.Insert(Set({1, 2, 3}));
+  EXPECT_TRUE(c.ContainsSupersetOf(Set({1, 3})));
+  EXPECT_FALSE(c.ContainsSupersetOf(Set({1, 4})));
+  EXPECT_TRUE(c.ContainsSubsetOf(Set({1, 2, 3, 4})));
+}
+
+TEST(AntichainTest, MixedInsertOrderYieldsSameAntichain) {
+  // Whatever the insertion order, the surviving family is the set of
+  // minimal elements.
+  std::vector<ColumnSet> sets = {Set({1, 2, 3}), Set({1, 2}), Set({2, 3}),
+                                 Set({2}),       Set({4, 5}), Set({4})};
+  std::sort(sets.begin(), sets.end());
+  do {
+    MinimalSetCollection c;
+    for (const ColumnSet& s : sets) c.Insert(s);
+    auto all = c.CollectAll();
+    std::sort(all.begin(), all.end());
+    EXPECT_EQ(all, (std::vector<ColumnSet>{Set({2}), Set({4})}));
+  } while (std::next_permutation(sets.begin(), sets.end()));
+}
+
+}  // namespace
+}  // namespace muds

@@ -1,0 +1,116 @@
+#include "setops/column_set.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace muds {
+namespace {
+
+TEST(ColumnSetTest, DefaultIsEmpty) {
+  ColumnSet s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0);
+  EXPECT_EQ(s.First(), -1);
+  EXPECT_EQ(s.ToIndices(), std::vector<int>{});
+}
+
+TEST(ColumnSetTest, AddRemoveContains) {
+  ColumnSet s;
+  s.Add(3);
+  s.Add(64);
+  s.Add(255);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(64));
+  EXPECT_TRUE(s.Contains(255));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Count(), 3);
+  s.Remove(64);
+  EXPECT_FALSE(s.Contains(64));
+  EXPECT_EQ(s.Count(), 2);
+  s.Remove(64);  // Removing an absent column is a no-op.
+  EXPECT_EQ(s.Count(), 2);
+}
+
+TEST(ColumnSetTest, SingleAndFirstN) {
+  EXPECT_EQ(ColumnSet::Single(7).ToIndices(), (std::vector<int>{7}));
+  EXPECT_EQ(ColumnSet::FirstN(4).ToIndices(), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_TRUE(ColumnSet::FirstN(0).Empty());
+}
+
+TEST(ColumnSetTest, FromIndicesAndIteration) {
+  ColumnSet s = ColumnSet::FromIndices({5, 1, 130, 63, 64});
+  EXPECT_EQ(s.ToIndices(), (std::vector<int>{1, 5, 63, 64, 130}));
+  EXPECT_EQ(s.First(), 1);
+  EXPECT_EQ(s.NextAtLeast(2), 5);
+  EXPECT_EQ(s.NextAtLeast(6), 63);
+  EXPECT_EQ(s.NextAtLeast(64), 64);
+  EXPECT_EQ(s.NextAtLeast(65), 130);
+  EXPECT_EQ(s.NextAtLeast(131), -1);
+}
+
+TEST(ColumnSetTest, SubsetAndIntersects) {
+  const ColumnSet a = ColumnSet::FromIndices({1, 2});
+  const ColumnSet b = ColumnSet::FromIndices({1, 2, 3});
+  const ColumnSet c = ColumnSet::FromIndices({4, 200});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsProperSubsetOf(b));
+  EXPECT_FALSE(a.IsProperSubsetOf(a));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(ColumnSet().IsSubsetOf(a));
+}
+
+TEST(ColumnSetTest, Algebra) {
+  const ColumnSet a = ColumnSet::FromIndices({1, 2, 70});
+  const ColumnSet b = ColumnSet::FromIndices({2, 3, 70});
+  EXPECT_EQ(a.Union(b).ToIndices(), (std::vector<int>{1, 2, 3, 70}));
+  EXPECT_EQ(a.Intersect(b).ToIndices(), (std::vector<int>{2, 70}));
+  EXPECT_EQ(a.Difference(b).ToIndices(), (std::vector<int>{1}));
+  EXPECT_EQ(a.With(9).ToIndices(), (std::vector<int>{1, 2, 9, 70}));
+  EXPECT_EQ(a.Without(2).ToIndices(), (std::vector<int>{1, 70}));
+}
+
+TEST(ColumnSetTest, ComparisonAndHash) {
+  const ColumnSet a = ColumnSet::FromIndices({1, 2});
+  const ColumnSet b = ColumnSet::FromIndices({1, 2});
+  const ColumnSet c = ColumnSet::FromIndices({1, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a < c || c < a);
+  EXPECT_FALSE(a < b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+
+  std::unordered_set<ColumnSet, ColumnSetHash> set;
+  set.insert(a);
+  set.insert(b);
+  set.insert(c);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ColumnSetTest, ToStringPlain) {
+  EXPECT_EQ(ColumnSet().ToString(), "{}");
+  EXPECT_EQ(ColumnSet::FromIndices({0, 2}).ToString(), "{0,2}");
+}
+
+TEST(ColumnSetTest, ToStringWithNames) {
+  const std::vector<std::string> names = {"A", "B", "C"};
+  EXPECT_EQ(ColumnSet::FromIndices({0, 2}).ToString(names), "AC");
+  EXPECT_EQ(ColumnSet().ToString(names), "{}");
+}
+
+TEST(ColumnSetTest, HighColumnsAcrossWords) {
+  ColumnSet s;
+  for (int c = 60; c < 70; ++c) s.Add(c);
+  EXPECT_EQ(s.Count(), 10);
+  EXPECT_EQ(s.First(), 60);
+  int count = 0;
+  for (int c = s.First(); c >= 0; c = s.NextAtLeast(c + 1)) ++count;
+  EXPECT_EQ(count, 10);
+}
+
+}  // namespace
+}  // namespace muds

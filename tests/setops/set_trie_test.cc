@@ -1,0 +1,146 @@
+#include "setops/set_trie.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace muds {
+namespace {
+
+ColumnSet Set(std::vector<int> indices) {
+  return ColumnSet::FromIndices(indices);
+}
+
+TEST(SetTrieTest, InsertContainsErase) {
+  SetTrie trie;
+  EXPECT_TRUE(trie.IsEmpty());
+  EXPECT_TRUE(trie.Insert(Set({1, 3, 8})));
+  EXPECT_FALSE(trie.Insert(Set({1, 3, 8})));  // Duplicate.
+  EXPECT_TRUE(trie.Insert(Set({1, 5})));
+  EXPECT_EQ(trie.Size(), 2u);
+  EXPECT_TRUE(trie.Contains(Set({1, 3, 8})));
+  EXPECT_FALSE(trie.Contains(Set({1, 3})));  // Prefix is not a member.
+  EXPECT_TRUE(trie.Erase(Set({1, 3, 8})));
+  EXPECT_FALSE(trie.Erase(Set({1, 3, 8})));
+  EXPECT_FALSE(trie.Contains(Set({1, 3, 8})));
+  EXPECT_TRUE(trie.Contains(Set({1, 5})));
+  EXPECT_EQ(trie.Size(), 1u);
+}
+
+TEST(SetTrieTest, EmptySetMembership) {
+  SetTrie trie;
+  EXPECT_FALSE(trie.Contains(ColumnSet()));
+  EXPECT_TRUE(trie.Insert(ColumnSet()));
+  EXPECT_TRUE(trie.Contains(ColumnSet()));
+  // The empty set is a subset of everything and a superset only of itself.
+  EXPECT_TRUE(trie.ContainsSubsetOf(Set({4, 7})));
+  EXPECT_TRUE(trie.ContainsSupersetOf(ColumnSet()));
+  EXPECT_FALSE(trie.ContainsSupersetOf(Set({4})));
+  EXPECT_TRUE(trie.Erase(ColumnSet()));
+  EXPECT_TRUE(trie.IsEmpty());
+}
+
+TEST(SetTrieTest, PaperFigure5Example) {
+  // Figure 5: the prefix tree for {(1,3,8), (1,5), (1,10), (1,11,17),
+  // (1,12), (7), (15,18)}.
+  SetTrie trie;
+  const std::vector<ColumnSet> uccs = {
+      Set({1, 3, 8}), Set({1, 5}),     Set({1, 10}), Set({1, 11, 17}),
+      Set({1, 12}),   Set({7}),        Set({15, 18})};
+  for (const ColumnSet& u : uccs) trie.Insert(u);
+  EXPECT_EQ(trie.Size(), uccs.size());
+  for (const ColumnSet& u : uccs) EXPECT_TRUE(trie.Contains(u));
+
+  // Subset look-up, the MUDS use case: all UCCs inside a left-hand side.
+  EXPECT_TRUE(trie.ContainsSubsetOf(Set({1, 5, 18})));
+  auto subsets = trie.CollectSubsetsOf(Set({1, 3, 5, 8}));
+  std::sort(subsets.begin(), subsets.end());
+  EXPECT_EQ(subsets, (std::vector<ColumnSet>{Set({1, 5}), Set({1, 3, 8})}));
+  EXPECT_FALSE(trie.ContainsSubsetOf(Set({3, 8})));  // 1 missing.
+
+  // Superset look-up, the connector look-up use case.
+  auto supersets = trie.CollectSupersetsOf(Set({1, 11}));
+  EXPECT_EQ(supersets, (std::vector<ColumnSet>{Set({1, 11, 17})}));
+  EXPECT_TRUE(trie.ContainsSupersetOf(Set({17})));
+  EXPECT_FALSE(trie.ContainsSupersetOf(Set({2})));
+}
+
+TEST(SetTrieTest, CollectAllRoundTrips) {
+  SetTrie trie;
+  std::set<ColumnSet> reference;
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    ColumnSet s;
+    const int size = 1 + static_cast<int>(rng.NextBelow(5));
+    for (int j = 0; j < size; ++j) {
+      s.Add(static_cast<int>(rng.NextBelow(16)));
+    }
+    trie.Insert(s);
+    reference.insert(s);
+  }
+  auto all = trie.CollectAll();
+  EXPECT_EQ(all.size(), reference.size());
+  for (const ColumnSet& s : all) EXPECT_TRUE(reference.count(s) == 1);
+}
+
+TEST(SetTrieTest, RandomizedQueriesMatchNaive) {
+  Rng rng(7);
+  SetTrie trie;
+  std::vector<ColumnSet> stored;
+  for (int i = 0; i < 120; ++i) {
+    ColumnSet s;
+    const int size = static_cast<int>(rng.NextBelow(5));
+    for (int j = 0; j < size; ++j) s.Add(static_cast<int>(rng.NextBelow(12)));
+    if (trie.Insert(s)) stored.push_back(s);
+  }
+  for (int q = 0; q < 300; ++q) {
+    ColumnSet query;
+    const int size = static_cast<int>(rng.NextBelow(7));
+    for (int j = 0; j < size; ++j) {
+      query.Add(static_cast<int>(rng.NextBelow(12)));
+    }
+    std::vector<ColumnSet> naive_subsets;
+    std::vector<ColumnSet> naive_supersets;
+    for (const ColumnSet& s : stored) {
+      if (s.IsSubsetOf(query)) naive_subsets.push_back(s);
+      if (query.IsSubsetOf(s)) naive_supersets.push_back(s);
+    }
+    auto got_subsets = trie.CollectSubsetsOf(query);
+    auto got_supersets = trie.CollectSupersetsOf(query);
+    std::sort(naive_subsets.begin(), naive_subsets.end());
+    std::sort(naive_supersets.begin(), naive_supersets.end());
+    std::sort(got_subsets.begin(), got_subsets.end());
+    std::sort(got_supersets.begin(), got_supersets.end());
+    EXPECT_EQ(got_subsets, naive_subsets);
+    EXPECT_EQ(got_supersets, naive_supersets);
+    EXPECT_EQ(trie.ContainsSubsetOf(query), !naive_subsets.empty());
+    EXPECT_EQ(trie.ContainsSupersetOf(query), !naive_supersets.empty());
+  }
+}
+
+TEST(SetTrieTest, ErasePrunesBranches) {
+  SetTrie trie;
+  trie.Insert(Set({1, 2, 3}));
+  trie.Insert(Set({1, 2}));
+  trie.Erase(Set({1, 2, 3}));
+  // After pruning, no superset of {1,2,3} may be reported via stale nodes.
+  EXPECT_FALSE(trie.ContainsSupersetOf(Set({3})));
+  EXPECT_TRUE(trie.ContainsSupersetOf(Set({1})));
+  EXPECT_TRUE(trie.Contains(Set({1, 2})));
+}
+
+TEST(SetTrieTest, Clear) {
+  SetTrie trie;
+  trie.Insert(Set({1}));
+  trie.Insert(Set({2, 3}));
+  trie.Clear();
+  EXPECT_TRUE(trie.IsEmpty());
+  EXPECT_FALSE(trie.ContainsSubsetOf(Set({1, 2, 3})));
+}
+
+}  // namespace
+}  // namespace muds

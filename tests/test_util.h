@@ -1,0 +1,40 @@
+#ifndef MUDS_TESTS_TEST_UTIL_H_
+#define MUDS_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/relation.h"
+
+namespace muds {
+
+/// Random categorical relation for differential tests: `cols` columns whose
+/// cardinalities are drawn from [1, max_cardinality] (cardinality 1 yields
+/// constant columns, exercising the ∅-lhs path).
+inline Relation RandomRelation(uint64_t seed, int cols, int rows,
+                               int max_cardinality) {
+  Rng rng(seed);
+  std::vector<std::vector<std::string>> data;
+  std::vector<std::string> names;
+  std::vector<int> cardinalities;
+  for (int c = 0; c < cols; ++c) {
+    names.push_back("c" + std::to_string(c));
+    cardinalities.push_back(
+        1 + static_cast<int>(rng.NextBelow(
+                static_cast<uint64_t>(max_cardinality))));
+  }
+  for (int r = 0; r < rows; ++r) {
+    std::vector<std::string> row;
+    for (int c = 0; c < cols; ++c) {
+      row.push_back("v" + std::to_string(rng.NextBelow(static_cast<uint64_t>(
+                              cardinalities[static_cast<size_t>(c)]))));
+    }
+    data.push_back(std::move(row));
+  }
+  return Relation::FromRows(names, data, "random");
+}
+
+}  // namespace muds
+
+#endif  // MUDS_TESTS_TEST_UTIL_H_

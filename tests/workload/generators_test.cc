@@ -1,0 +1,119 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "data/preprocess.h"
+#include "fd/fd_util.h"
+#include "pli/pli_cache.h"
+
+namespace muds {
+namespace {
+
+TEST(GeneratorsTest, MakeFromSpecsIsDeterministic) {
+  std::vector<ColumnSpec> specs = {
+      {ColumnSpec::Kind::kUnique, 0, 1, {}},
+      {ColumnSpec::Kind::kCategorical, 5, 1, {}},
+      {ColumnSpec::Kind::kDerived, 3, 1, {1}},
+  };
+  Relation a = MakeFromSpecs(100, specs, 42, "t");
+  Relation b = MakeFromSpecs(100, specs, 42, "t");
+  for (RowId row = 0; row < a.NumRows(); ++row) {
+    EXPECT_EQ(a.Row(row), b.Row(row));
+  }
+  Relation c = MakeFromSpecs(100, specs, 43, "t");
+  bool any_difference = false;
+  for (RowId row = 0; row < a.NumRows() && !any_difference; ++row) {
+    any_difference = a.Row(row) != c.Row(row);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GeneratorsTest, UniqueColumnIsUnique) {
+  std::vector<ColumnSpec> specs = {{ColumnSpec::Kind::kUnique, 0, 1, {}}};
+  Relation r = MakeFromSpecs(50, specs, 1, "t");
+  EXPECT_EQ(r.Cardinality(0), 50);
+}
+
+TEST(GeneratorsTest, CategoricalRespectsCardinalityBound) {
+  Relation r = MakeCategorical(1000, {7, 2, 1}, 3, "t");
+  EXPECT_LE(r.Cardinality(0), 7);
+  EXPECT_LE(r.Cardinality(1), 2);
+  EXPECT_EQ(r.Cardinality(2), 1);  // Constant column.
+}
+
+TEST(GeneratorsTest, DerivedColumnIsFunctionallyDetermined) {
+  std::vector<ColumnSpec> specs = {
+      {ColumnSpec::Kind::kCategorical, 20, 1, {}},
+      {ColumnSpec::Kind::kCategorical, 20, 1, {}},
+      {ColumnSpec::Kind::kDerived, 6, 1, {0, 1}},
+  };
+  Relation r = MakeFromSpecs(500, specs, 9, "t");
+  EXPECT_TRUE(
+      CheckFdByDefinition(r, ColumnSet::FromIndices({0, 1}), 2));
+}
+
+TEST(GeneratorsTest, RenamedColumnDeterminesBothWays) {
+  std::vector<ColumnSpec> specs = {
+      {ColumnSpec::Kind::kCategorical, 15, 1, {}},
+      {ColumnSpec::Kind::kRenamed, 0, 1, {0}},
+  };
+  Relation r = MakeFromSpecs(300, specs, 11, "t");
+  EXPECT_TRUE(CheckFdByDefinition(r, ColumnSet::Single(0), 1));
+  EXPECT_TRUE(CheckFdByDefinition(r, ColumnSet::Single(1), 0));
+  // Distinct value domains: the renamed column must not share values.
+  EXPECT_NE(r.Value(0, 0), r.Value(0, 1));
+}
+
+TEST(GeneratorsTest, CounterColumnsEnumerateTheCrossProduct) {
+  std::vector<ColumnSpec> specs = {
+      {ColumnSpec::Kind::kCounter, 3, 4, {}},
+      {ColumnSpec::Kind::kCounter, 2, 2, {}},
+      {ColumnSpec::Kind::kCounter, 2, 1, {}},
+  };
+  Relation r = MakeFromSpecs(12, specs, 1, "t");
+  // 3*2*2 = 12 rows: all combinations, no duplicates.
+  EXPECT_EQ(DeduplicateRows(r).duplicates_removed, 0);
+  PliCache cache(r);
+  EXPECT_TRUE(cache.Get(ColumnSet::FromIndices({0, 1, 2}))->IsUnique());
+  EXPECT_FALSE(cache.Get(ColumnSet::FromIndices({0, 1}))->IsUnique());
+}
+
+TEST(GeneratorsTest, NamedGeneratorsProduceRequestedShapes) {
+  Relation uniprot = MakeUniprotLike(200, 10, 1);
+  EXPECT_EQ(uniprot.NumColumns(), 10);
+  EXPECT_EQ(uniprot.NumRows(), 200);
+
+  Relation ionosphere = MakeIonosphereLike(351, 14, 1);
+  EXPECT_EQ(ionosphere.NumColumns(), 14);
+  EXPECT_EQ(ionosphere.NumRows(), 351);
+  EXPECT_TRUE(ionosphere.IsConstantColumn(1));  // The all-zero column.
+
+  Relation ncvoter = MakeNcvoterLike(500, 24, 1);
+  EXPECT_EQ(ncvoter.NumColumns(), 24);
+}
+
+TEST(GeneratorsTest, UciProfilesMatchTable3Shapes) {
+  const auto profiles = UciProfiles();
+  ASSERT_EQ(profiles.size(), 11u);
+  EXPECT_EQ(profiles[0].name, "iris");
+  EXPECT_EQ(profiles[0].specs.size(), 5u);
+  EXPECT_EQ(profiles[0].rows, 150);
+  EXPECT_EQ(profiles.back().name, "hepatitis");
+  EXPECT_EQ(profiles.back().specs.size(), 20u);
+
+  // Spot-check one materialization.
+  Relation iris = MakeUciLike(profiles[0], 1);
+  EXPECT_EQ(iris.NumColumns(), 5);
+  EXPECT_EQ(iris.NumRows(), 150);
+}
+
+TEST(GeneratorsTest, NurseryIsAFullCrossProduct) {
+  for (const UciProfile& profile : UciProfiles()) {
+    if (profile.name != "nursery") continue;
+    Relation r = MakeUciLike(profile, 1);
+    EXPECT_EQ(DeduplicateRows(r).duplicates_removed, 0);
+  }
+}
+
+}  // namespace
+}  // namespace muds

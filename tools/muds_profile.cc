@@ -1,0 +1,171 @@
+// muds_profile — command-line holistic data profiler.
+//
+// Usage:
+//   muds_profile INPUT.csv [options]
+//
+// Options:
+//   --algorithm=muds|hfun|baseline|auto   profiling strategy (default muds)
+//   --separator=C                         CSV field separator (default ,)
+//   --no-header                           first record is data, not names
+//   --max-rows=N                          profile only the first N rows
+//   --null-token=S                        cells equal to S are NULL
+//   --null-unequal                        NULL != NULL semantics
+//   --seed=N                              seed for randomized traversals
+//   --json                                machine-readable JSON output
+//   --quiet                               only dependency counts
+//   --stats                               per-column statistics table
+//   --soft-fds[=T]                        CORDS-style soft FDs with
+//                                         strength >= T (default 0.9)
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on I/O or parse errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/profiler.h"
+#include "core/report.h"
+#include "data/statistics.h"
+#include "fd/soft_fd.h"
+
+namespace {
+
+using namespace muds;
+
+struct CliOptions {
+  std::string input;
+  ProfileOptions profile;
+  bool json = false;
+  bool quiet = false;
+  bool stats = false;
+  bool soft_fds = false;
+  double soft_fd_strength = 0.9;
+};
+
+void PrintUsage(FILE* out) {
+  std::fprintf(
+      out,
+      "usage: muds_profile INPUT.csv [--algorithm=muds|hfun|baseline|auto]\n"
+      "                    [--separator=C] [--no-header] [--max-rows=N]\n"
+      "                    [--null-token=S] [--null-unequal] [--seed=N]\n"
+      "                    [--json] [--quiet] [--stats] [--soft-fds[=T]]\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      std::exit(0);
+    } else if (arg.rfind("--algorithm=", 0) == 0) {
+      const std::string name = arg.substr(12);
+      if (name == "muds") {
+        options->profile.algorithm = Algorithm::kMuds;
+      } else if (name == "hfun") {
+        options->profile.algorithm = Algorithm::kHolisticFun;
+      } else if (name == "baseline") {
+        options->profile.algorithm = Algorithm::kBaseline;
+      } else if (name == "auto") {
+        options->profile.algorithm = Algorithm::kAuto;
+      } else {
+        std::fprintf(stderr, "unknown algorithm: %s\n", name.c_str());
+        return false;
+      }
+    } else if (arg.rfind("--separator=", 0) == 0) {
+      if (arg.size() != 13) {
+        std::fprintf(stderr, "--separator expects one character\n");
+        return false;
+      }
+      options->profile.csv.separator = arg[12];
+    } else if (arg == "--no-header") {
+      options->profile.csv.has_header = false;
+    } else if (arg.rfind("--max-rows=", 0) == 0) {
+      options->profile.csv.max_rows = std::atoll(arg.c_str() + 11);
+    } else if (arg.rfind("--null-token=", 0) == 0) {
+      options->profile.csv.null_token = arg.substr(13);
+    } else if (arg == "--null-unequal") {
+      options->profile.csv.nulls = NullSemantics::kNullUnequal;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options->profile.seed =
+          static_cast<uint64_t>(std::strtoull(arg.c_str() + 7, nullptr, 10));
+    } else if (arg == "--json") {
+      options->json = true;
+    } else if (arg == "--quiet") {
+      options->quiet = true;
+    } else if (arg == "--stats") {
+      options->stats = true;
+    } else if (arg == "--soft-fds") {
+      options->soft_fds = true;
+    } else if (arg.rfind("--soft-fds=", 0) == 0) {
+      options->soft_fds = true;
+      options->soft_fd_strength = std::atof(arg.c_str() + 11);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    } else if (options->input.empty()) {
+      options->input = arg;
+    } else {
+      std::fprintf(stderr, "multiple input files given\n");
+      return false;
+    }
+  }
+  if (options->input.empty()) {
+    std::fprintf(stderr, "missing input file\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage(stderr);
+    return 1;
+  }
+  Result<ProfilingResult> result =
+      ProfileCsvFile(options.input, options.profile);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 result.status().ToString().c_str());
+    return 2;
+  }
+  if (options.json) {
+    std::fputs(ProfilingResultToJson(result.value()).c_str(), stdout);
+  } else {
+    std::fputs(
+        ProfilingResultToText(result.value(), options.quiet).c_str(),
+        stdout);
+  }
+
+  if (options.stats || options.soft_fds) {
+    // Re-read once for the supplementary analyses (they operate on the
+    // relation, not on the dependency sets).
+    Result<Relation> relation =
+        CsvReader::ReadFile(options.input, options.profile.csv);
+    if (!relation.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   relation.status().ToString().c_str());
+      return 2;
+    }
+    if (options.stats) {
+      std::printf("\ncolumn statistics:\n%s",
+                  FormatStatistics(ComputeStatistics(relation.value()))
+                      .c_str());
+    }
+    if (options.soft_fds) {
+      Cords::Options cords;
+      cords.min_strength = options.soft_fd_strength;
+      cords.seed = options.profile.seed;
+      std::printf("\nsoft FDs (CORDS, strength >= %.2f):\n",
+                  cords.min_strength);
+      for (const SoftFd& fd : Cords::Discover(relation.value(), cords)) {
+        std::printf("  %s\n",
+                    ToString(fd, relation.value().ColumnNames()).c_str());
+      }
+    }
+  }
+  return 0;
+}
