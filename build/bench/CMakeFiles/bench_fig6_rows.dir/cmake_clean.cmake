@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_rows.dir/bench_fig6_rows.cc.o"
+  "CMakeFiles/bench_fig6_rows.dir/bench_fig6_rows.cc.o.d"
+  "bench_fig6_rows"
+  "bench_fig6_rows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_columns.dir/bench_fig7_columns.cc.o"
+  "CMakeFiles/bench_fig7_columns.dir/bench_fig7_columns.cc.o.d"
+  "bench_fig7_columns"
+  "bench_fig7_columns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_columns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_phases.dir/bench_fig8_phases.cc.o"
+  "CMakeFiles/bench_fig8_phases.dir/bench_fig8_phases.cc.o.d"
+  "bench_fig8_phases"
+  "bench_fig8_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

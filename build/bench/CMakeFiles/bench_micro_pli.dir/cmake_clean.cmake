@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_pli.dir/bench_micro_pli.cc.o"
+  "CMakeFiles/bench_micro_pli.dir/bench_micro_pli.cc.o.d"
+  "bench_micro_pli"
+  "bench_micro_pli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_pli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

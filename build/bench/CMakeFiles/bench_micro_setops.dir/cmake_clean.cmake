@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_setops.dir/bench_micro_setops.cc.o"
+  "CMakeFiles/bench_micro_setops.dir/bench_micro_setops.cc.o.d"
+  "bench_micro_setops"
+  "bench_micro_setops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_setops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

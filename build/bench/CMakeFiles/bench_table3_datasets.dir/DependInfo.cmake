@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_datasets.cc" "bench/CMakeFiles/bench_table3_datasets.dir/bench_table3_datasets.cc.o" "gcc" "bench/CMakeFiles/bench_table3_datasets.dir/bench_table3_datasets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/muds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/muds_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/muds_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ind/CMakeFiles/muds_ind.dir/DependInfo.cmake"
+  "/root/repo/build/src/ucc/CMakeFiles/muds_ucc.dir/DependInfo.cmake"
+  "/root/repo/build/src/pli/CMakeFiles/muds_pli.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/muds_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/setops/CMakeFiles/muds_setops.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/muds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

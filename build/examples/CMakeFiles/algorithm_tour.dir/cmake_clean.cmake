@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_tour.dir/algorithm_tour.cpp.o"
+  "CMakeFiles/algorithm_tour.dir/algorithm_tour.cpp.o.d"
+  "algorithm_tour"
+  "algorithm_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_quality.dir/data_quality.cpp.o"
+  "CMakeFiles/data_quality.dir/data_quality.cpp.o.d"
+  "data_quality"
+  "data_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

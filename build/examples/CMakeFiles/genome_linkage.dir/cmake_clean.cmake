@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_linkage.dir/genome_linkage.cpp.o"
+  "CMakeFiles/genome_linkage.dir/genome_linkage.cpp.o.d"
+  "genome_linkage"
+  "genome_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

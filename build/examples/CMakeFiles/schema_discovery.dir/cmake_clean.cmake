@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_discovery.dir/schema_discovery.cpp.o"
+  "CMakeFiles/schema_discovery.dir/schema_discovery.cpp.o.d"
+  "schema_discovery"
+  "schema_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("setops")
+subdirs("data")
+subdirs("pli")
+subdirs("ind")
+subdirs("ucc")
+subdirs("fd")
+subdirs("core")
+subdirs("workload")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muds_common.dir/status.cc.o"
+  "CMakeFiles/muds_common.dir/status.cc.o.d"
+  "CMakeFiles/muds_common.dir/string_util.cc.o"
+  "CMakeFiles/muds_common.dir/string_util.cc.o.d"
+  "libmuds_common.a"
+  "libmuds_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muds_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/holistic_fun.cc" "src/core/CMakeFiles/muds_core.dir/holistic_fun.cc.o" "gcc" "src/core/CMakeFiles/muds_core.dir/holistic_fun.cc.o.d"
+  "/root/repo/src/core/muds.cc" "src/core/CMakeFiles/muds_core.dir/muds.cc.o" "gcc" "src/core/CMakeFiles/muds_core.dir/muds.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/core/CMakeFiles/muds_core.dir/profiler.cc.o" "gcc" "src/core/CMakeFiles/muds_core.dir/profiler.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/muds_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/muds_core.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/muds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/muds_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/muds_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ind/CMakeFiles/muds_ind.dir/DependInfo.cmake"
+  "/root/repo/build/src/pli/CMakeFiles/muds_pli.dir/DependInfo.cmake"
+  "/root/repo/build/src/setops/CMakeFiles/muds_setops.dir/DependInfo.cmake"
+  "/root/repo/build/src/ucc/CMakeFiles/muds_ucc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muds_core.dir/holistic_fun.cc.o"
+  "CMakeFiles/muds_core.dir/holistic_fun.cc.o.d"
+  "CMakeFiles/muds_core.dir/muds.cc.o"
+  "CMakeFiles/muds_core.dir/muds.cc.o.d"
+  "CMakeFiles/muds_core.dir/profiler.cc.o"
+  "CMakeFiles/muds_core.dir/profiler.cc.o.d"
+  "CMakeFiles/muds_core.dir/report.cc.o"
+  "CMakeFiles/muds_core.dir/report.cc.o.d"
+  "libmuds_core.a"
+  "libmuds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

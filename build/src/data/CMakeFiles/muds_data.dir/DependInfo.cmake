@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cc" "src/data/CMakeFiles/muds_data.dir/csv.cc.o" "gcc" "src/data/CMakeFiles/muds_data.dir/csv.cc.o.d"
+  "/root/repo/src/data/metadata.cc" "src/data/CMakeFiles/muds_data.dir/metadata.cc.o" "gcc" "src/data/CMakeFiles/muds_data.dir/metadata.cc.o.d"
+  "/root/repo/src/data/preprocess.cc" "src/data/CMakeFiles/muds_data.dir/preprocess.cc.o" "gcc" "src/data/CMakeFiles/muds_data.dir/preprocess.cc.o.d"
+  "/root/repo/src/data/relation.cc" "src/data/CMakeFiles/muds_data.dir/relation.cc.o" "gcc" "src/data/CMakeFiles/muds_data.dir/relation.cc.o.d"
+  "/root/repo/src/data/statistics.cc" "src/data/CMakeFiles/muds_data.dir/statistics.cc.o" "gcc" "src/data/CMakeFiles/muds_data.dir/statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/muds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/setops/CMakeFiles/muds_setops.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muds_data.dir/csv.cc.o"
+  "CMakeFiles/muds_data.dir/csv.cc.o.d"
+  "CMakeFiles/muds_data.dir/metadata.cc.o"
+  "CMakeFiles/muds_data.dir/metadata.cc.o.d"
+  "CMakeFiles/muds_data.dir/preprocess.cc.o"
+  "CMakeFiles/muds_data.dir/preprocess.cc.o.d"
+  "CMakeFiles/muds_data.dir/relation.cc.o"
+  "CMakeFiles/muds_data.dir/relation.cc.o.d"
+  "CMakeFiles/muds_data.dir/statistics.cc.o"
+  "CMakeFiles/muds_data.dir/statistics.cc.o.d"
+  "libmuds_data.a"
+  "libmuds_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muds_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

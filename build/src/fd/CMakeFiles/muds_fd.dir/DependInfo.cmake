@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fd/brute_force_fd.cc" "src/fd/CMakeFiles/muds_fd.dir/brute_force_fd.cc.o" "gcc" "src/fd/CMakeFiles/muds_fd.dir/brute_force_fd.cc.o.d"
+  "/root/repo/src/fd/fd_util.cc" "src/fd/CMakeFiles/muds_fd.dir/fd_util.cc.o" "gcc" "src/fd/CMakeFiles/muds_fd.dir/fd_util.cc.o.d"
+  "/root/repo/src/fd/fun.cc" "src/fd/CMakeFiles/muds_fd.dir/fun.cc.o" "gcc" "src/fd/CMakeFiles/muds_fd.dir/fun.cc.o.d"
+  "/root/repo/src/fd/soft_fd.cc" "src/fd/CMakeFiles/muds_fd.dir/soft_fd.cc.o" "gcc" "src/fd/CMakeFiles/muds_fd.dir/soft_fd.cc.o.d"
+  "/root/repo/src/fd/tane.cc" "src/fd/CMakeFiles/muds_fd.dir/tane.cc.o" "gcc" "src/fd/CMakeFiles/muds_fd.dir/tane.cc.o.d"
+  "/root/repo/src/fd/ucc_inference.cc" "src/fd/CMakeFiles/muds_fd.dir/ucc_inference.cc.o" "gcc" "src/fd/CMakeFiles/muds_fd.dir/ucc_inference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/muds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/muds_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/pli/CMakeFiles/muds_pli.dir/DependInfo.cmake"
+  "/root/repo/build/src/setops/CMakeFiles/muds_setops.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muds_fd.dir/brute_force_fd.cc.o"
+  "CMakeFiles/muds_fd.dir/brute_force_fd.cc.o.d"
+  "CMakeFiles/muds_fd.dir/fd_util.cc.o"
+  "CMakeFiles/muds_fd.dir/fd_util.cc.o.d"
+  "CMakeFiles/muds_fd.dir/fun.cc.o"
+  "CMakeFiles/muds_fd.dir/fun.cc.o.d"
+  "CMakeFiles/muds_fd.dir/soft_fd.cc.o"
+  "CMakeFiles/muds_fd.dir/soft_fd.cc.o.d"
+  "CMakeFiles/muds_fd.dir/tane.cc.o"
+  "CMakeFiles/muds_fd.dir/tane.cc.o.d"
+  "CMakeFiles/muds_fd.dir/ucc_inference.cc.o"
+  "CMakeFiles/muds_fd.dir/ucc_inference.cc.o.d"
+  "libmuds_fd.a"
+  "libmuds_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muds_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ind/demarchi.cc" "src/ind/CMakeFiles/muds_ind.dir/demarchi.cc.o" "gcc" "src/ind/CMakeFiles/muds_ind.dir/demarchi.cc.o.d"
+  "/root/repo/src/ind/nary_ind.cc" "src/ind/CMakeFiles/muds_ind.dir/nary_ind.cc.o" "gcc" "src/ind/CMakeFiles/muds_ind.dir/nary_ind.cc.o.d"
+  "/root/repo/src/ind/spider.cc" "src/ind/CMakeFiles/muds_ind.dir/spider.cc.o" "gcc" "src/ind/CMakeFiles/muds_ind.dir/spider.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/muds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/muds_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/setops/CMakeFiles/muds_setops.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muds_ind.dir/demarchi.cc.o"
+  "CMakeFiles/muds_ind.dir/demarchi.cc.o.d"
+  "CMakeFiles/muds_ind.dir/nary_ind.cc.o"
+  "CMakeFiles/muds_ind.dir/nary_ind.cc.o.d"
+  "CMakeFiles/muds_ind.dir/spider.cc.o"
+  "CMakeFiles/muds_ind.dir/spider.cc.o.d"
+  "libmuds_ind.a"
+  "libmuds_ind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muds_ind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for muds_ind.
+# This may be replaced when dependencies are built.

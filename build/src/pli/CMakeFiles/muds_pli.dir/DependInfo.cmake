@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pli/pli_cache.cc" "src/pli/CMakeFiles/muds_pli.dir/pli_cache.cc.o" "gcc" "src/pli/CMakeFiles/muds_pli.dir/pli_cache.cc.o.d"
+  "/root/repo/src/pli/position_list_index.cc" "src/pli/CMakeFiles/muds_pli.dir/position_list_index.cc.o" "gcc" "src/pli/CMakeFiles/muds_pli.dir/position_list_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/muds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/muds_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/setops/CMakeFiles/muds_setops.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muds_pli.dir/pli_cache.cc.o"
+  "CMakeFiles/muds_pli.dir/pli_cache.cc.o.d"
+  "CMakeFiles/muds_pli.dir/position_list_index.cc.o"
+  "CMakeFiles/muds_pli.dir/position_list_index.cc.o.d"
+  "libmuds_pli.a"
+  "libmuds_pli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muds_pli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

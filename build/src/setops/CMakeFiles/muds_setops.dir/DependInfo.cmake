@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/setops/antichain.cc" "src/setops/CMakeFiles/muds_setops.dir/antichain.cc.o" "gcc" "src/setops/CMakeFiles/muds_setops.dir/antichain.cc.o.d"
+  "/root/repo/src/setops/column_set.cc" "src/setops/CMakeFiles/muds_setops.dir/column_set.cc.o" "gcc" "src/setops/CMakeFiles/muds_setops.dir/column_set.cc.o.d"
+  "/root/repo/src/setops/hitting_set.cc" "src/setops/CMakeFiles/muds_setops.dir/hitting_set.cc.o" "gcc" "src/setops/CMakeFiles/muds_setops.dir/hitting_set.cc.o.d"
+  "/root/repo/src/setops/set_trie.cc" "src/setops/CMakeFiles/muds_setops.dir/set_trie.cc.o" "gcc" "src/setops/CMakeFiles/muds_setops.dir/set_trie.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/muds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muds_setops.dir/antichain.cc.o"
+  "CMakeFiles/muds_setops.dir/antichain.cc.o.d"
+  "CMakeFiles/muds_setops.dir/column_set.cc.o"
+  "CMakeFiles/muds_setops.dir/column_set.cc.o.d"
+  "CMakeFiles/muds_setops.dir/hitting_set.cc.o"
+  "CMakeFiles/muds_setops.dir/hitting_set.cc.o.d"
+  "CMakeFiles/muds_setops.dir/set_trie.cc.o"
+  "CMakeFiles/muds_setops.dir/set_trie.cc.o.d"
+  "libmuds_setops.a"
+  "libmuds_setops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muds_setops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ucc/ducc.cc" "src/ucc/CMakeFiles/muds_ucc.dir/ducc.cc.o" "gcc" "src/ucc/CMakeFiles/muds_ucc.dir/ducc.cc.o.d"
+  "/root/repo/src/ucc/lattice_traversal.cc" "src/ucc/CMakeFiles/muds_ucc.dir/lattice_traversal.cc.o" "gcc" "src/ucc/CMakeFiles/muds_ucc.dir/lattice_traversal.cc.o.d"
+  "/root/repo/src/ucc/related_work.cc" "src/ucc/CMakeFiles/muds_ucc.dir/related_work.cc.o" "gcc" "src/ucc/CMakeFiles/muds_ucc.dir/related_work.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/muds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/muds_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/pli/CMakeFiles/muds_pli.dir/DependInfo.cmake"
+  "/root/repo/build/src/setops/CMakeFiles/muds_setops.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

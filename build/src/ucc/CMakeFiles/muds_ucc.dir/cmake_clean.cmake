@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muds_ucc.dir/ducc.cc.o"
+  "CMakeFiles/muds_ucc.dir/ducc.cc.o.d"
+  "CMakeFiles/muds_ucc.dir/lattice_traversal.cc.o"
+  "CMakeFiles/muds_ucc.dir/lattice_traversal.cc.o.d"
+  "CMakeFiles/muds_ucc.dir/related_work.cc.o"
+  "CMakeFiles/muds_ucc.dir/related_work.cc.o.d"
+  "libmuds_ucc.a"
+  "libmuds_ucc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muds_ucc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmuds_ucc.a"
+)

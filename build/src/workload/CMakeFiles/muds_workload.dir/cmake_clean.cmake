@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muds_workload.dir/generators.cc.o"
+  "CMakeFiles/muds_workload.dir/generators.cc.o.d"
+  "libmuds_workload.a"
+  "libmuds_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muds_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antichain_test.dir/setops/antichain_test.cc.o"
+  "CMakeFiles/antichain_test.dir/setops/antichain_test.cc.o.d"
+  "antichain_test"
+  "antichain_test.pdb"
+  "antichain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antichain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_select_test.dir/core/auto_select_test.cc.o"
+  "CMakeFiles/auto_select_test.dir/core/auto_select_test.cc.o.d"
+  "auto_select_test"
+  "auto_select_test.pdb"
+  "auto_select_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_select_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

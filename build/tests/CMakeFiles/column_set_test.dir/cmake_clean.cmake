@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_set_test.dir/setops/column_set_test.cc.o"
+  "CMakeFiles/column_set_test.dir/setops/column_set_test.cc.o.d"
+  "column_set_test"
+  "column_set_test.pdb"
+  "column_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

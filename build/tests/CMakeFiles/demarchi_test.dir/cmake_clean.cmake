@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demarchi_test.dir/ind/demarchi_test.cc.o"
+  "CMakeFiles/demarchi_test.dir/ind/demarchi_test.cc.o.d"
+  "demarchi_test"
+  "demarchi_test.pdb"
+  "demarchi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demarchi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

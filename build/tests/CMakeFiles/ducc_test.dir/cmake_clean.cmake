@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ducc_test.dir/ucc/ducc_test.cc.o"
+  "CMakeFiles/ducc_test.dir/ucc/ducc_test.cc.o.d"
+  "ducc_test"
+  "ducc_test.pdb"
+  "ducc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ducc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_util_test.dir/fd/fd_util_test.cc.o"
+  "CMakeFiles/fd_util_test.dir/fd/fd_util_test.cc.o.d"
+  "fd_util_test"
+  "fd_util_test.pdb"
+  "fd_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

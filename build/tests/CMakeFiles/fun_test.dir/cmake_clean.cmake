@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fun_test.dir/fd/fun_test.cc.o"
+  "CMakeFiles/fun_test.dir/fd/fun_test.cc.o.d"
+  "fun_test"
+  "fun_test.pdb"
+  "fun_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fun_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hitting_set_test.dir/setops/hitting_set_test.cc.o"
+  "CMakeFiles/hitting_set_test.dir/setops/hitting_set_test.cc.o.d"
+  "hitting_set_test"
+  "hitting_set_test.pdb"
+  "hitting_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hitting_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

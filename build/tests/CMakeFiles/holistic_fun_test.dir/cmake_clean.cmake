@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holistic_fun_test.dir/core/holistic_fun_test.cc.o"
+  "CMakeFiles/holistic_fun_test.dir/core/holistic_fun_test.cc.o.d"
+  "holistic_fun_test"
+  "holistic_fun_test.pdb"
+  "holistic_fun_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holistic_fun_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_traversal_test.dir/ucc/lattice_traversal_test.cc.o"
+  "CMakeFiles/lattice_traversal_test.dir/ucc/lattice_traversal_test.cc.o.d"
+  "lattice_traversal_test"
+  "lattice_traversal_test.pdb"
+  "lattice_traversal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_traversal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadata_test.dir/data/metadata_test.cc.o"
+  "CMakeFiles/metadata_test.dir/data/metadata_test.cc.o.d"
+  "metadata_test"
+  "metadata_test.pdb"
+  "metadata_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

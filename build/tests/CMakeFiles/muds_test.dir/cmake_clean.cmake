@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muds_test.dir/core/muds_test.cc.o"
+  "CMakeFiles/muds_test.dir/core/muds_test.cc.o.d"
+  "muds_test"
+  "muds_test.pdb"
+  "muds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

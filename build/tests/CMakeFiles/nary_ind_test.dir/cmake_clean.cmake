@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nary_ind_test.dir/ind/nary_ind_test.cc.o"
+  "CMakeFiles/nary_ind_test.dir/ind/nary_ind_test.cc.o.d"
+  "nary_ind_test"
+  "nary_ind_test.pdb"
+  "nary_ind_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nary_ind_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

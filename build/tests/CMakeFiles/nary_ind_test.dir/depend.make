@@ -1,0 +1,2 @@
+# Empty dependencies file for nary_ind_test.
+# This may be replaced when dependencies are built.

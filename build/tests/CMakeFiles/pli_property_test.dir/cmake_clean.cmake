@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pli_property_test.dir/pli/pli_property_test.cc.o"
+  "CMakeFiles/pli_property_test.dir/pli/pli_property_test.cc.o.d"
+  "pli_property_test"
+  "pli_property_test.pdb"
+  "pli_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pli_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pli_test.dir/pli/pli_test.cc.o"
+  "CMakeFiles/pli_test.dir/pli/pli_test.cc.o.d"
+  "pli_test"
+  "pli_test.pdb"
+  "pli_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_work_test.dir/ucc/related_work_test.cc.o"
+  "CMakeFiles/related_work_test.dir/ucc/related_work_test.cc.o.d"
+  "related_work_test"
+  "related_work_test.pdb"
+  "related_work_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_work_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

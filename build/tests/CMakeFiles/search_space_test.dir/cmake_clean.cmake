@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_space_test.dir/core/search_space_test.cc.o"
+  "CMakeFiles/search_space_test.dir/core/search_space_test.cc.o.d"
+  "search_space_test"
+  "search_space_test.pdb"
+  "search_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

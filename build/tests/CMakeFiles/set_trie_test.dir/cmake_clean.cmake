@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_trie_test.dir/setops/set_trie_test.cc.o"
+  "CMakeFiles/set_trie_test.dir/setops/set_trie_test.cc.o.d"
+  "set_trie_test"
+  "set_trie_test.pdb"
+  "set_trie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_trie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

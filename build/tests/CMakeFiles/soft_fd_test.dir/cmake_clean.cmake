@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_fd_test.dir/fd/soft_fd_test.cc.o"
+  "CMakeFiles/soft_fd_test.dir/fd/soft_fd_test.cc.o.d"
+  "soft_fd_test"
+  "soft_fd_test.pdb"
+  "soft_fd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_fd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

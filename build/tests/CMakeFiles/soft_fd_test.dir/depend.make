@@ -1,0 +1,2 @@
+# Empty dependencies file for soft_fd_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_test.dir/ind/spider_test.cc.o"
+  "CMakeFiles/spider_test.dir/ind/spider_test.cc.o.d"
+  "spider_test"
+  "spider_test.pdb"
+  "spider_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

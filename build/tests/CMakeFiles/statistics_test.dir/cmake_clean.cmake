@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statistics_test.dir/data/statistics_test.cc.o"
+  "CMakeFiles/statistics_test.dir/data/statistics_test.cc.o.d"
+  "statistics_test"
+  "statistics_test.pdb"
+  "statistics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statistics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

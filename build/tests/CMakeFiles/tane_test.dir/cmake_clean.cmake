@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tane_test.dir/fd/tane_test.cc.o"
+  "CMakeFiles/tane_test.dir/fd/tane_test.cc.o.d"
+  "tane_test"
+  "tane_test.pdb"
+  "tane_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucc_inference_test.dir/fd/ucc_inference_test.cc.o"
+  "CMakeFiles/ucc_inference_test.dir/fd/ucc_inference_test.cc.o.d"
+  "ucc_inference_test"
+  "ucc_inference_test.pdb"
+  "ucc_inference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucc_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_relation_test.dir/integration/wide_relation_test.cc.o"
+  "CMakeFiles/wide_relation_test.dir/integration/wide_relation_test.cc.o.d"
+  "wide_relation_test"
+  "wide_relation_test.pdb"
+  "wide_relation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_correctness_test.dir/integration/workload_correctness_test.cc.o"
+  "CMakeFiles/workload_correctness_test.dir/integration/workload_correctness_test.cc.o.d"
+  "workload_correctness_test"
+  "workload_correctness_test.pdb"
+  "workload_correctness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_correctness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

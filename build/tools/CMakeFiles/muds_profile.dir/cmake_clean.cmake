@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muds_profile.dir/muds_profile.cc.o"
+  "CMakeFiles/muds_profile.dir/muds_profile.cc.o.d"
+  "muds_profile"
+  "muds_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muds_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

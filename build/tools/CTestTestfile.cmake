@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_text "/root/repo/build/tools/muds_profile" "sample.csv")
+set_tests_properties(cli_text PROPERTIES  WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_json "/root/repo/build/tools/muds_profile" "sample.csv" "--json")
+set_tests_properties(cli_json PROPERTIES  WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_extras "/root/repo/build/tools/muds_profile" "sample.csv" "--quiet" "--stats" "--soft-fds=0.5" "--algorithm=auto")
+set_tests_properties(cli_extras PROPERTIES  WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
