@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   std::printf("%-10s %12s %12s %12s %8s %8s %8s\n", "rows",
               "baseline[s]", "HFUN[s]", "MUDS[s]", "INDs", "UCCs", "FDs");
   bench::PrintRule();
+  bench::JsonResultWriter json("fig6_rows");
   for (int64_t rows : row_counts) {
     Relation relation = MakeUniprotLike(rows, cols, args.seed);
     const std::string csv = bench::ToCsv(relation);
@@ -45,6 +46,17 @@ int main(int argc, char** argv) {
                 hfun.TotalSeconds(), muds.TotalSeconds(),
                 muds.inds.size(), muds.uccs.size(), muds.fds.size());
     std::fflush(stdout);
+
+    char name[64];
+    std::snprintf(name, sizeof(name), "baseline/rows=%lld",
+                  static_cast<long long>(rows));
+    json.Add(name, baseline);
+    std::snprintf(name, sizeof(name), "hfun/rows=%lld",
+                  static_cast<long long>(rows));
+    json.Add(name, hfun);
+    std::snprintf(name, sizeof(name), "muds/rows=%lld",
+                  static_cast<long long>(rows));
+    json.Add(name, muds);
   }
   return 0;
 }

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
 
   MudsOptions options;
   options.seed = args.seed;
+  options.num_threads = args.threads;
   MudsResult result = Muds::Run(deduped, options);
 
   std::printf("Figure 8: runtime of MUDS' phases "
@@ -50,5 +51,21 @@ int main(int argc, char** argv) {
               static_cast<long long>(result.stats.pli_intersects),
               static_cast<long long>(result.stats.shadowed_tasks),
               static_cast<long long>(result.stats.shadowed_rounds));
+
+  bench::JsonResultWriter json("fig8_phases");
+  std::vector<std::pair<std::string, int64_t>> counters = {
+      {"fd_checks_minimize", result.stats.fd_checks_minimize},
+      {"fd_checks_rz", result.stats.fd_checks_rz},
+      {"fd_checks_shadowed", result.stats.fd_checks_shadowed},
+      {"pli_intersects", result.stats.pli_intersects},
+      {"shadowed_tasks", result.stats.shadowed_tasks},
+      {"parallel_tasks", result.stats.parallel_tasks},
+  };
+  for (const auto& [name, micros] : result.timings.entries()) {
+    counters.emplace_back("micros/" + name, micros);
+  }
+  json.Add("muds/phases",
+           static_cast<double>(result.timings.TotalMicros()) / 1e3,
+           result.stats.num_threads_used, counters);
   return 0;
 }

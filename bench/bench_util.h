@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/profiler.h"
@@ -19,9 +21,11 @@ namespace bench {
 ///   --full         paper-scale parameters (default: scaled down so the
 ///                  whole bench suite finishes in minutes)
 ///   --seed=N       generator / traversal seed
+///   --threads=N    worker threads (0 = hardware concurrency)
 struct BenchArgs {
   bool full = false;
   uint64_t seed = 1;
+  int threads = 1;
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv) {
@@ -31,6 +35,8 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       args.full = true;
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       args.seed = static_cast<uint64_t>(std::strtoull(argv[i] + 7, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      args.threads = std::atoi(argv[i] + 10);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
     }
@@ -42,13 +48,90 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
 /// the CSV text, which is where the baseline pays its unshared I/O — and
 /// returns the result.
 inline ProfilingResult RunAlgorithm(const std::string& csv_text,
-                                    Algorithm algorithm, uint64_t seed) {
+                                    Algorithm algorithm, uint64_t seed,
+                                    int threads = 1) {
   ProfileOptions options;
   options.algorithm = algorithm;
   options.seed = seed;
+  options.num_threads = threads;
   Result<ProfilingResult> result = ProfileCsvString(csv_text, options);
   return std::move(result).value();
 }
+
+/// Accumulates measurement rows and writes one machine-readable
+/// BENCH_<bench>.json into the working directory when Write() is called (or
+/// at destruction), so the perf trajectory is trackable across commits:
+///
+///   {"bench": "fig6_rows", "results": [
+///     {"name": "muds/rows=10000", "wall_ms": 12.3, "threads": 1,
+///      "counters": {"fd_checks": 456, ...}}, ...]}
+class JsonResultWriter {
+ public:
+  explicit JsonResultWriter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  JsonResultWriter(const JsonResultWriter&) = delete;
+  JsonResultWriter& operator=(const JsonResultWriter&) = delete;
+
+  ~JsonResultWriter() { Write(); }
+
+  void Add(const std::string& name, double wall_ms, int threads,
+           const std::vector<std::pair<std::string, int64_t>>& counters) {
+    std::string row = "    {\"name\": \"" + name + "\"";
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.3f", wall_ms);
+    row += ", \"wall_ms\": ";
+    row += buffer;
+    std::snprintf(buffer, sizeof(buffer), "%d", threads);
+    row += ", \"threads\": ";
+    row += buffer;
+    row += ", \"counters\": {";
+    bool first = true;
+    for (const auto& [counter, value] : counters) {
+      if (!first) row += ", ";
+      first = false;
+      std::snprintf(buffer, sizeof(buffer), "%lld",
+                    static_cast<long long>(value));
+      row += "\"" + counter + "\": " + buffer;
+    }
+    row += "}}";
+    rows_.push_back(std::move(row));
+  }
+
+  /// Convenience: one row straight from a profiling result.
+  void Add(const std::string& name, const ProfilingResult& result) {
+    int threads = 1;
+    for (const auto& [counter, value] : result.counters) {
+      if (counter == "num_threads") threads = static_cast<int>(value);
+    }
+    Add(name, static_cast<double>(result.timings.TotalMicros()) / 1e3,
+        threads, result.counters);
+  }
+
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    const std::string path = "BENCH_" + bench_name_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(out, "{\"bench\": \"%s\", \"results\": [\n",
+                 bench_name_.c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(out, "%s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(out, "]}\n");
+    std::fclose(out);
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<std::string> rows_;
+  bool written_ = false;
+};
 
 /// Serializes a generated relation once; all algorithms profile the same
 /// text.

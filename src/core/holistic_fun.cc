@@ -1,5 +1,8 @@
 #include "core/holistic_fun.h"
 
+#include <utility>
+
+#include "common/thread_pool.h"
 #include "fd/fun.h"
 #include "ind/spider.h"
 #include "pli/pli_cache.h"
@@ -7,8 +10,36 @@
 
 namespace muds {
 
-HolisticResult HolisticFun::Run(const Relation& relation) {
+HolisticResult HolisticFun::Run(const Relation& relation, int num_threads) {
   HolisticResult result;
+  ThreadPool pool(num_threads);
+  result.num_threads_used = pool.NumThreads();
+  if (pool.NumThreads() > 1) {
+    // SPIDER (dictionary merge) and FUN (PLI lattice) read disjoint state:
+    // overlap them. Each phase is charged its own task time, measured
+    // inside the task and merged afterwards (PhaseTimings itself is not
+    // thread-safe). Register SPIDER first to keep the paper's phase order.
+    result.timings.Add("SPIDER", 0);
+    std::future<std::pair<std::vector<Ind>, int64_t>> inds =
+        pool.Submit([&relation] {
+          Timer timer;
+          std::vector<Ind> discovered = Spider::Discover(relation);
+          return std::make_pair(std::move(discovered),
+                                timer.ElapsedMicros());
+        });
+    {
+      ScopedPhaseTimer timer(&result.timings, "FUN");
+      FdDiscoveryResult fd_result = Fun::Discover(relation);
+      result.fds = std::move(fd_result.fds);
+      result.uccs = std::move(fd_result.uccs);
+      result.fd_checks = fd_result.fd_checks;
+      result.pli_intersects = fd_result.pli_intersects;
+    }
+    auto [discovered, spider_micros] = inds.get();
+    result.inds = std::move(discovered);
+    result.timings.Add("SPIDER", spider_micros);
+    return result;
+  }
   {
     ScopedPhaseTimer timer(&result.timings, "SPIDER");
     result.inds = Spider::Discover(relation);
@@ -24,8 +55,11 @@ HolisticResult HolisticFun::Run(const Relation& relation) {
   return result;
 }
 
-HolisticResult Baseline::Run(const Relation& relation, uint64_t seed) {
+HolisticResult Baseline::Run(const Relation& relation, uint64_t seed,
+                             int num_threads) {
   HolisticResult result;
+  ThreadPool pool(num_threads);
+  result.num_threads_used = pool.NumThreads();
   {
     ScopedPhaseTimer timer(&result.timings, "SPIDER");
     result.inds = Spider::Discover(relation);
@@ -33,7 +67,7 @@ HolisticResult Baseline::Run(const Relation& relation, uint64_t seed) {
   {
     ScopedPhaseTimer timer(&result.timings, "DUCC");
     // DUCC builds its own PLIs: no sharing in the baseline.
-    PliCache cache(relation);
+    PliCache cache(relation, PliCache::kDefaultMaxEntries, &pool);
     Ducc::Options options;
     options.seed = seed;
     result.uccs = Ducc::Discover(relation, &cache, options);

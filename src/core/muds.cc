@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "fd/fd_util.h"
 #include "ind/spider.h"
 #include "pli/pli_cache.h"
@@ -263,6 +264,55 @@ class MudsRunner {
     return result;
   }
 
+  // Per left-hand side: which right-hand sides were validated and which of
+  // those held.
+  struct RhsKnowledge {
+    ColumnSet checked;
+    ColumnSet valid;
+  };
+
+  // Validation state owned by one parallel traversal task. Workers never
+  // touch the shared `check_memo_` (writes would race); they memoize into
+  // their own map and the results are merged after the pool drains.
+  struct TaskCheckState {
+    std::unordered_map<ColumnSet, RhsKnowledge, ColumnSetHash> memo;
+    int64_t checks = 0;
+  };
+
+  // Thread-safe FD check for the parallel phases: consults the shared memo
+  // read-only (no other thread mutates it while a parallel phase runs),
+  // then the task-local memo, and only then validates against the data
+  // through the (thread-safe) PliCache. Validity is a property of the data,
+  // so racing tasks that both validate the same pair agree on the answer —
+  // only the check counter can differ across schedules.
+  bool CheckFdParallel(const ColumnSet& lhs, int rhs, TaskCheckState* state) {
+    auto shared = check_memo_.find(lhs);
+    if (shared != check_memo_.end() && shared->second.checked.Contains(rhs)) {
+      return shared->second.valid.Contains(rhs);
+    }
+    RhsKnowledge& local = state->memo[lhs];
+    if (local.checked.Contains(rhs)) return local.valid.Contains(rhs);
+    ++state->checks;
+    const bool holds = cache_->Get(lhs)->Refines(relation_.GetColumn(rhs));
+    local.checked.Add(rhs);
+    if (holds) local.valid.Add(rhs);
+    return holds;
+  }
+
+  // Folds the task-local validation knowledge back into the shared memo
+  // (so later sequential phases keep benefiting) and the check counter.
+  void MergeCheckStates(std::vector<TaskCheckState>* states,
+                        int64_t* counter) {
+    for (TaskCheckState& state : *states) {
+      *counter += state.checks;
+      for (auto& [lhs, local] : state.memo) {
+        RhsKnowledge& knowledge = check_memo_[lhs];
+        knowledge.checked = knowledge.checked.Union(local.checked);
+        knowledge.valid = knowledge.valid.Union(local.valid);
+      }
+    }
+  }
+
   // Algorithm 3: maximal subsets of `lhs` that contain no minimal UCC.
   std::vector<ColumnSet> RemoveUccs(const ColumnSet& lhs);
 
@@ -291,16 +341,13 @@ class MudsRunner {
       dispatched_shadowed_;
   // newLhs → right-hand sides already expanded in earlier rounds.
   std::unordered_map<ColumnSet, ColumnSet, ColumnSetHash> processed_shadowed_;
-  // Per left-hand side: which right-hand sides were validated and which of
-  // those held.
-  struct RhsKnowledge {
-    ColumnSet checked;
-    ColumnSet valid;
-  };
   std::unordered_map<ColumnSet, RhsKnowledge, ColumnSetHash> check_memo_;
+  std::optional<ThreadPool> pool_;
 };
 
 MudsResult MudsRunner::Run() {
+  pool_.emplace(options_.num_threads);
+  result_.stats.num_threads_used = pool_->NumThreads();
   RunSpider();
   RunDucc();
 
@@ -341,10 +388,19 @@ MudsResult MudsRunner::Run() {
 
 void MudsRunner::RunSpider() {
   ScopedPhaseTimer timer(&result_.timings, "SPIDER");
-  result_.inds = Spider::Discover(relation_);
   // The paper builds the PLIs in the same pass that feeds SPIDER (§5);
-  // constructing the cache here mirrors that shared scan.
-  cache_.emplace(relation_);
+  // constructing the cache here mirrors that shared scan. SPIDER and the
+  // PLI build read disjoint state, so with a parallel pool SPIDER runs on a
+  // worker while the caller drives the per-column PLI construction.
+  if (pool_->NumThreads() > 1) {
+    std::future<std::vector<Ind>> inds =
+        pool_->Submit([this] { return Spider::Discover(relation_); });
+    cache_.emplace(relation_, PliCache::kDefaultMaxEntries, &*pool_);
+    result_.inds = inds.get();
+  } else {
+    result_.inds = Spider::Discover(relation_);
+    cache_.emplace(relation_);
+  }
   active_ = relation_.ActiveColumns();
 }
 
@@ -393,20 +449,52 @@ void MudsRunner::MinimizeFdsFromUccs() {
 
 void MudsRunner::CalculateRz() {
   const ColumnSet rz = active_.Difference(z_);
-  for (int a = rz.First(); a >= 0; a = rz.NextAtLeast(a + 1)) {
+  if (pool_->NumThreads() <= 1) {
+    for (int a = rz.First(); a >= 0; a = rz.NextAtLeast(a + 1)) {
+      LatticeTraversal::Options traversal_options;
+      traversal_options.seed =
+          options_.seed * 7919 + static_cast<uint64_t>(a);
+      // Key pruning: every minimal UCC determines `a` (a ∉ Z, so no UCC
+      // contains it).
+      traversal_options.known_positive = uccs_;
+      LatticeTraversal traversal(
+          active_.Without(a),
+          [this, a](const ColumnSet& lhs) {
+            return CheckFd(lhs, a, &result_.stats.fd_checks_rz);
+          },
+          traversal_options);
+      for (const ColumnSet& lhs : traversal.Run()) fd_store_.Add(lhs, a);
+    }
+    return;
+  }
+
+  // Each right-hand side outside Z spans its own sub-lattice, seeded
+  // independently — the traversals share nothing but the (thread-safe)
+  // PliCache and the read-only check memo, so they run concurrently and
+  // their results merge in right-hand-side order, making the discovered FD
+  // set independent of scheduling.
+  const std::vector<int> targets = rz.ToIndices();
+  std::vector<std::vector<ColumnSet>> found(targets.size());
+  std::vector<TaskCheckState> states(targets.size());
+  result_.stats.parallel_tasks += static_cast<int64_t>(targets.size());
+  pool_->ParallelFor(0, static_cast<int64_t>(targets.size()), [&](int64_t i) {
+    const int a = targets[static_cast<size_t>(i)];
     LatticeTraversal::Options traversal_options;
     traversal_options.seed = options_.seed * 7919 + static_cast<uint64_t>(a);
-    // Key pruning: every minimal UCC determines `a` (a ∉ Z, so no UCC
-    // contains it).
     traversal_options.known_positive = uccs_;
+    TaskCheckState* state = &states[static_cast<size_t>(i)];
     LatticeTraversal traversal(
         active_.Without(a),
-        [this, a](const ColumnSet& lhs) {
-          return CheckFd(lhs, a, &result_.stats.fd_checks_rz);
+        [this, a, state](const ColumnSet& lhs) {
+          return CheckFdParallel(lhs, a, state);
         },
         traversal_options);
-    for (const ColumnSet& lhs : traversal.Run()) fd_store_.Add(lhs, a);
+    found[static_cast<size_t>(i)] = traversal.Run();
+  });
+  for (size_t i = 0; i < targets.size(); ++i) {
+    for (const ColumnSet& lhs : found[i]) fd_store_.Add(lhs, targets[i]);
   }
+  MergeCheckStates(&states, &result_.stats.fd_checks_rz);
 }
 
 std::vector<ColumnSet> MudsRunner::RemoveUccs(const ColumnSet& lhs) {
@@ -575,8 +663,42 @@ void MudsRunner::ExhaustiveCompletion() {
     }
   }
 
-  for (int a = z_.First(); a >= 0; a = z_.NextAtLeast(a + 1)) {
-    LatticeTraversal::Options traversal_options;
+  if (pool_->NumThreads() <= 1) {
+    for (int a = z_.First(); a >= 0; a = z_.NextAtLeast(a + 1)) {
+      LatticeTraversal::Options traversal_options;
+      traversal_options.seed =
+          options_.seed * 104729 + static_cast<uint64_t>(a);
+      traversal_options.known_positive = known_positive[a];
+      traversal_options.known_negative = known_negative[a];
+      for (const ColumnSet& lhs : fd_store_.MinimalLhsFor(a)) {
+        traversal_options.known_positive.push_back(lhs);
+      }
+      // Key pruning: every minimal UCC not containing `a` determines it.
+      for (const ColumnSet& ucc : uccs_) {
+        if (!ucc.Contains(a)) traversal_options.known_positive.push_back(ucc);
+      }
+      LatticeTraversal traversal(
+          active_.Without(a),
+          [this, a](const ColumnSet& lhs) {
+            return CheckFd(lhs, a, &result_.stats.fd_checks_shadowed);
+          },
+          traversal_options);
+      fd_store_.ReplaceMinimal(a, traversal.Run());
+    }
+    return;
+  }
+
+  // Parallel path. The traversal for right-hand side `a` depends only on
+  // the pre-phase knowledge snapshotted above (ReplaceMinimal for b ≠ a
+  // never changes MinimalLhsFor(a)), so the per-RHS options are prepared
+  // sequentially, the traversals run concurrently, and the store is
+  // updated in right-hand-side order afterwards — same answer as the
+  // sequential loop.
+  const std::vector<int> targets = z_.ToIndices();
+  std::vector<LatticeTraversal::Options> per_rhs_options(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const int a = targets[i];
+    LatticeTraversal::Options& traversal_options = per_rhs_options[i];
     traversal_options.seed =
         options_.seed * 104729 + static_cast<uint64_t>(a);
     traversal_options.known_positive = known_positive[a];
@@ -584,18 +706,28 @@ void MudsRunner::ExhaustiveCompletion() {
     for (const ColumnSet& lhs : fd_store_.MinimalLhsFor(a)) {
       traversal_options.known_positive.push_back(lhs);
     }
-    // Key pruning: every minimal UCC not containing `a` determines it.
     for (const ColumnSet& ucc : uccs_) {
       if (!ucc.Contains(a)) traversal_options.known_positive.push_back(ucc);
     }
+  }
+  std::vector<std::vector<ColumnSet>> minimal(targets.size());
+  std::vector<TaskCheckState> states(targets.size());
+  result_.stats.parallel_tasks += static_cast<int64_t>(targets.size());
+  pool_->ParallelFor(0, static_cast<int64_t>(targets.size()), [&](int64_t i) {
+    const int a = targets[static_cast<size_t>(i)];
+    TaskCheckState* state = &states[static_cast<size_t>(i)];
     LatticeTraversal traversal(
         active_.Without(a),
-        [this, a](const ColumnSet& lhs) {
-          return CheckFd(lhs, a, &result_.stats.fd_checks_shadowed);
+        [this, a, state](const ColumnSet& lhs) {
+          return CheckFdParallel(lhs, a, state);
         },
-        traversal_options);
-    fd_store_.ReplaceMinimal(a, traversal.Run());
+        std::move(per_rhs_options[static_cast<size_t>(i)]));
+    minimal[static_cast<size_t>(i)] = traversal.Run();
+  });
+  for (size_t i = 0; i < targets.size(); ++i) {
+    fd_store_.ReplaceMinimal(targets[i], minimal[i]);
   }
+  MergeCheckStates(&states, &result_.stats.fd_checks_shadowed);
 }
 
 }  // namespace

@@ -16,6 +16,15 @@ struct MudsOptions {
   /// Seed for the random-walk traversals (DUCC and the R\Z sub-lattices).
   uint64_t seed = 1;
 
+  /// Worker threads for the parallel phases (single-column PLI
+  /// construction, the SPIDER/PLI load overlap, and the independent
+  /// per-right-hand-side sub-lattice traversals of "calculateRZ" and the
+  /// exhaustive completion). 0 = hardware concurrency; 1 = the sequential
+  /// code path, bit-identical to the pre-parallel implementation. Every
+  /// per-RHS traversal derives its own seed from `seed`, so the discovered
+  /// IND/UCC/FD sets are identical for every thread count.
+  int num_threads = 1;
+
   /// §5.4: use the UCC prefix tree for subset/superset look-ups. Disabling
   /// falls back to linear scans over the UCC list (the "naive
   /// implementation" the paper compares against); results are identical.
@@ -62,6 +71,13 @@ struct MudsStats {
   int64_t shadowed_tasks = 0;
   int64_t shadowed_rounds = 0;
   int64_t pli_intersects = 0;
+  /// Threads the run actually used (MudsOptions::num_threads resolved, so
+  /// 0 shows up as the hardware concurrency).
+  int num_threads_used = 1;
+  /// Sub-lattice traversal tasks dispatched to the pool by the parallel
+  /// phases (calculateRZ + exhaustiveCompletion) — the achieved task-level
+  /// parallelism; 0 on the sequential path.
+  int64_t parallel_tasks = 0;
   Ducc::Stats ducc;
 };
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "core/holistic_fun.h"
 #include "data/preprocess.h"
 #include "pli/pli_cache.h"
@@ -29,7 +30,8 @@ Algorithm ChooseAutomatically(const Relation& relation,
                : Algorithm::kHolisticFun;
   }
   Timer timer;
-  PliCache cache(relation);
+  ThreadPool pool(options.num_threads);
+  PliCache cache(relation, PliCache::kDefaultMaxEntries, &pool);
   Ducc::Options ducc_options;
   ducc_options.seed = options.seed;
   const std::vector<ColumnSet> uccs =
@@ -70,6 +72,7 @@ ProfilingResult RunOnDeduped(const Relation& relation,
     case Algorithm::kMuds: {
       MudsOptions muds_options = options.muds;
       muds_options.seed = options.seed;
+      muds_options.num_threads = options.num_threads;
       MudsResult muds = Muds::Run(relation, muds_options);
       result.inds = std::move(muds.inds);
       result.uccs = std::move(muds.uccs);
@@ -87,6 +90,8 @@ ProfilingResult RunOnDeduped(const Relation& relation,
           {"shadowed_tasks", muds.stats.shadowed_tasks},
           {"shadowed_rounds", muds.stats.shadowed_rounds},
           {"ducc_uniqueness_checks", muds.stats.ducc.uniqueness_checks},
+          {"num_threads", muds.stats.num_threads_used},
+          {"parallel_tasks", muds.stats.parallel_tasks},
       };
       break;
     }
@@ -94,8 +99,8 @@ ProfilingResult RunOnDeduped(const Relation& relation,
     case Algorithm::kBaseline: {
       HolisticResult holistic =
           options.algorithm == Algorithm::kHolisticFun
-              ? HolisticFun::Run(relation)
-              : Baseline::Run(relation, options.seed);
+              ? HolisticFun::Run(relation, options.num_threads)
+              : Baseline::Run(relation, options.seed, options.num_threads);
       result.inds = std::move(holistic.inds);
       result.uccs = std::move(holistic.uccs);
       result.fds = std::move(holistic.fds);
@@ -103,6 +108,7 @@ ProfilingResult RunOnDeduped(const Relation& relation,
       result.counters = {
           {"fd_checks", holistic.fd_checks},
           {"pli_intersects", holistic.pli_intersects},
+          {"num_threads", holistic.num_threads_used},
       };
       break;
     }

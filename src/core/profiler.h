@@ -55,6 +55,11 @@ struct ProfileOptions {
   Algorithm algorithm = Algorithm::kMuds;
   /// Seed for randomized traversals (MUDS / baseline DUCC).
   uint64_t seed = 1;
+  /// Worker threads for the parallel engine (0 = hardware concurrency,
+  /// 1 = the deterministic sequential path). The discovered IND/UCC/FD
+  /// sets are identical for every thread count; overrides
+  /// `muds.num_threads` the same way `seed` overrides `muds.seed`.
+  int num_threads = 1;
   /// MUDS-specific knobs (its `seed` field is overridden by `seed` above).
   MudsOptions muds;
   /// CSV dialect for the CSV entry points.

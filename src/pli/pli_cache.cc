@@ -1,27 +1,62 @@
 #include "pli/pli_cache.h"
 
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
 
 namespace muds {
 
-PliCache::PliCache(const Relation& relation, size_t max_entries)
+PliCache::PliCache(const Relation& relation, size_t max_entries,
+                   ThreadPool* pool)
     : relation_(&relation), max_entries_(max_entries) {
-  for (int c = 0; c < relation.NumColumns(); ++c) {
-    cache_.emplace(ColumnSet::Single(c),
-                   std::make_shared<Pli>(Pli::FromColumn(
-                       relation.GetColumn(c), relation.NumRows())));
+  const int n = relation.NumColumns();
+  std::vector<std::shared_ptr<const Pli>> singles(static_cast<size_t>(n));
+  const auto build = [&](int64_t c) {
+    singles[static_cast<size_t>(c)] = std::make_shared<Pli>(Pli::FromColumn(
+        relation.GetColumn(static_cast<int>(c)), relation.NumRows()));
+  };
+  if (pool != nullptr && pool->NumThreads() > 1) {
+    pool->ParallelFor(0, n, build);
+  } else {
+    for (int c = 0; c < n; ++c) build(c);
   }
-  cache_.emplace(ColumnSet(), std::make_shared<Pli>(
-                                  Pli::ForEmptySet(relation.NumRows())));
+  for (int c = 0; c < n; ++c) {
+    Insert(ColumnSet::Single(c), std::move(singles[static_cast<size_t>(c)]),
+           /*always_keep=*/true);
+  }
+  Insert(ColumnSet(),
+         std::make_shared<Pli>(Pli::ForEmptySet(relation.NumRows())),
+         /*always_keep=*/true);
   // The always-kept entries do not count against the cap.
-  max_entries_ += cache_.size();
+  max_entries_ += num_cached_.load(std::memory_order_relaxed);
+}
+
+std::shared_ptr<const Pli> PliCache::Find(const ColumnSet& columns) const {
+  const Shard& shard = ShardFor(columns);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(columns);
+  return it == shard.map.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const Pli> PliCache::Insert(const ColumnSet& columns,
+                                            std::shared_ptr<const Pli> pli,
+                                            bool always_keep) {
+  Shard& shard = ShardFor(columns);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(columns);
+  if (it != shard.map.end()) return it->second;
+  if (!always_keep &&
+      num_cached_.load(std::memory_order_relaxed) >= max_entries_) {
+    return pli;
+  }
+  shard.map.emplace(columns, pli);
+  num_cached_.fetch_add(1, std::memory_order_release);
+  return pli;
 }
 
 std::shared_ptr<const Pli> PliCache::Get(const ColumnSet& columns) {
-  auto it = cache_.find(columns);
-  if (it != cache_.end()) return it->second;
+  if (std::shared_ptr<const Pli> hit = Find(columns)) return hit;
 
   // Build by intersecting the PLI of (columns minus its last column) with
   // the last single-column PLI. This caches every prefix of the sorted
@@ -30,32 +65,34 @@ std::shared_ptr<const Pli> PliCache::Get(const ColumnSet& columns) {
   std::vector<int> indices = columns.ToIndices();
   MUDS_CHECK(!indices.empty());
   ColumnSet prefix;
-  std::shared_ptr<const Pli> pli = cache_.at(ColumnSet::Single(indices[0]));
+  std::shared_ptr<const Pli> pli = Find(ColumnSet::Single(indices[0]));
+  MUDS_CHECK(pli != nullptr);
   prefix.Add(indices[0]);
   for (size_t i = 1; i < indices.size(); ++i) {
     prefix.Add(indices[i]);
-    auto cached = cache_.find(prefix);
-    if (cached != cache_.end()) {
-      pli = cached->second;
+    if (std::shared_ptr<const Pli> cached = Find(prefix)) {
+      pli = std::move(cached);
       continue;
     }
-    const auto& single = cache_.at(ColumnSet::Single(indices[i]));
+    const std::shared_ptr<const Pli> single =
+        Find(ColumnSet::Single(indices[i]));
+    MUDS_CHECK(single != nullptr);
     auto combined = std::make_shared<Pli>(pli->Intersect(*single));
-    ++num_intersects_;
-    if (cache_.size() < max_entries_) cache_.emplace(prefix, combined);
-    pli = std::move(combined);
+    num_intersects_.fetch_add(1, std::memory_order_relaxed);
+    // On a race the canonical (first-inserted) entry comes back, so
+    // concurrent builders of the same set agree on one shared_ptr.
+    pli = Insert(prefix, std::move(combined));
   }
   return pli;
 }
 
 std::shared_ptr<const Pli> PliCache::GetIfCached(
     const ColumnSet& columns) const {
-  auto it = cache_.find(columns);
-  return it == cache_.end() ? nullptr : it->second;
+  return Find(columns);
 }
 
 void PliCache::Put(const ColumnSet& columns, std::shared_ptr<const Pli> pli) {
-  if (cache_.size() < max_entries_) cache_.emplace(columns, std::move(pli));
+  Insert(columns, std::move(pli));
 }
 
 }  // namespace muds

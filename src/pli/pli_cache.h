@@ -1,10 +1,14 @@
 #ifndef MUDS_PLI_PLI_CACHE_H_
 #define MUDS_PLI_PLI_CACHE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
+#include "common/thread_pool.h"
 #include "data/relation.h"
 #include "pli/position_list_index.h"
 #include "setops/column_set.h"
@@ -17,14 +21,27 @@ namespace muds {
 ///
 /// Single-column PLIs are built eagerly at construction; multi-column PLIs
 /// are built on demand by intersecting cached subsets.
+///
+/// Thread safety: the cache is safe for concurrent Get/GetIfCached/Put/
+/// Size/NumIntersects. Entries live in a fixed number of hash-sharded maps,
+/// each behind its own mutex, so concurrent sub-lattice traversals (which
+/// probe mostly disjoint column sets) rarely contend. When two threads race
+/// to build the same column set, the first inserted entry wins and both
+/// callers observe the same shared_ptr; the loser's PLI is dropped (both
+/// are equal — PLI construction is deterministic in the inputs).
+/// Pli::Intersect itself keeps per-thread scratch buffers, so concurrent
+/// intersects are safe.
 class PliCache {
  public:
   /// Builds the per-column PLIs of `relation`. The relation must outlive
   /// the cache. `max_entries` bounds the number of cached multi-column
   /// PLIs (single columns and the empty set are always kept); once the
   /// bound is hit, derived PLIs are still returned but no longer stored.
+  /// If `pool` is non-null and parallel, the single-column PLIs are built
+  /// concurrently (one task per column — they are independent).
   explicit PliCache(const Relation& relation,
-                    size_t max_entries = kDefaultMaxEntries);
+                    size_t max_entries = kDefaultMaxEntries,
+                    ThreadPool* pool = nullptr);
 
   static constexpr size_t kDefaultMaxEntries = 1u << 20;
 
@@ -39,25 +56,57 @@ class PliCache {
   std::shared_ptr<const Pli> GetIfCached(const ColumnSet& columns) const;
 
   /// Inserts an externally built PLI (e.g. from a traversal that combined
-  /// two cached entries itself).
+  /// two cached entries itself). If an entry for `columns` already exists
+  /// it is kept — so every caller that looks the set up again observes one
+  /// canonical shared_ptr, never two divergent copies.
   void Put(const ColumnSet& columns, std::shared_ptr<const Pli> pli);
 
   const Relation& relation() const { return *relation_; }
 
-  /// Number of cached entries (including single columns).
-  size_t Size() const { return cache_.size(); }
+  /// Number of cached entries (including single columns). Consistent under
+  /// concurrent insertion: counts exactly the entries committed to shards.
+  size_t Size() const {
+    return num_cached_.load(std::memory_order_acquire);
+  }
 
   /// Total PLI intersect operations performed by this cache. The paper's
   /// phase analysis (§6.4) names the PLI intersect as the dominant cost;
   /// benches report this counter.
-  int64_t NumIntersects() const { return num_intersects_; }
+  int64_t NumIntersects() const {
+    return num_intersects_.load(std::memory_order_relaxed);
+  }
 
  private:
+  static constexpr size_t kNumShards = 16;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<ColumnSet, std::shared_ptr<const Pli>, ColumnSetHash>
+        map;
+  };
+
+  Shard& ShardFor(const ColumnSet& columns) {
+    return shards_[columns.Hash() % kNumShards];
+  }
+  const Shard& ShardFor(const ColumnSet& columns) const {
+    return shards_[columns.Hash() % kNumShards];
+  }
+
+  std::shared_ptr<const Pli> Find(const ColumnSet& columns) const;
+
+  // Commits `pli` for `columns` unless an entry already exists or the cap
+  // is reached; returns the canonical entry (the existing one on a lost
+  // race, `pli` itself otherwise). `always_keep` bypasses the cap (single
+  // columns and the empty set).
+  std::shared_ptr<const Pli> Insert(const ColumnSet& columns,
+                                    std::shared_ptr<const Pli> pli,
+                                    bool always_keep = false);
+
   const Relation* relation_;
-  std::unordered_map<ColumnSet, std::shared_ptr<const Pli>, ColumnSetHash>
-      cache_;
+  std::array<Shard, kNumShards> shards_;
   size_t max_entries_;
-  int64_t num_intersects_ = 0;
+  std::atomic<size_t> num_cached_{0};
+  std::atomic<int64_t> num_intersects_{0};
 };
 
 }  // namespace muds

@@ -11,6 +11,9 @@
 //   --null-token=S                        cells equal to S are NULL
 //   --null-unequal                        NULL != NULL semantics
 //   --seed=N                              seed for randomized traversals
+//   --threads=N                           worker threads (0 = all hardware
+//                                         threads, default 1); results are
+//                                         identical for every thread count
 //   --json                                machine-readable JSON output
 //   --quiet                               only dependency counts
 //   --stats                               per-column statistics table
@@ -49,7 +52,8 @@ void PrintUsage(FILE* out) {
       "usage: muds_profile INPUT.csv [--algorithm=muds|hfun|baseline|auto]\n"
       "                    [--separator=C] [--no-header] [--max-rows=N]\n"
       "                    [--null-token=S] [--null-unequal] [--seed=N]\n"
-      "                    [--json] [--quiet] [--stats] [--soft-fds[=T]]\n");
+      "                    [--threads=N] [--json] [--quiet] [--stats]\n"
+      "                    [--soft-fds[=T]]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -89,6 +93,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (arg.rfind("--seed=", 0) == 0) {
       options->profile.seed =
           static_cast<uint64_t>(std::strtoull(arg.c_str() + 7, nullptr, 10));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      char* end = nullptr;
+      const long threads = std::strtol(arg.c_str() + 10, &end, 10);
+      if (end == arg.c_str() + 10 || *end != '\0' || threads < 0) {
+        std::fprintf(stderr, "--threads expects a non-negative count\n");
+        return false;
+      }
+      options->profile.num_threads = static_cast<int>(threads);
     } else if (arg == "--json") {
       options->json = true;
     } else if (arg == "--quiet") {
