@@ -1,9 +1,24 @@
-// Micro benchmarks for the shared PLI substrate (google-benchmark): build,
-// intersect, refinement check — the operations §6.4 identifies as the
-// dominant cost of every profiling algorithm in this library.
+// Micro benchmarks for the shared PLI substrate: build, intersect,
+// refinement check — the operations §6.4 identifies as the dominant cost of
+// every profiling algorithm in this library.
+//
+// Besides the google-benchmark timings, main() runs an intersect-kernel
+// comparison of the flat CSR kernel against a nested-vector baseline (the
+// pre-CSR layout, reimplemented here) over a clusters/rows grid and writes
+// the measured speedups to BENCH_micro_pli.json.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
 #include "data/relation.h"
 #include "pli/position_list_index.h"
 #include "workload/generators.h"
@@ -71,7 +86,165 @@ void BM_PliDistinctCount(benchmark::State& state) {
 }
 BENCHMARK(BM_PliDistinctCount);
 
+// --- Intersect-kernel comparison: flat CSR vs the nested-vector layout ---
+//
+// The nested baseline reproduces the pre-CSR implementation: one
+// heap-allocated std::vector per cluster and a fresh hash map of partial
+// clusters per probe pass. The flat kernel writes into a reusable
+// thread-local arena and emits one contiguous row array.
+
+struct NestedPli {
+  std::vector<std::vector<RowId>> clusters;
+  RowId num_rows = 0;
+
+  static NestedPli FromFlat(const Pli& pli, RowId num_rows) {
+    NestedPli nested;
+    nested.num_rows = num_rows;
+    nested.clusters.reserve(static_cast<size_t>(pli.NumClusters()));
+    for (int64_t k = 0; k < pli.NumClusters(); ++k) {
+      const auto cluster = pli.cluster(k);
+      nested.clusters.emplace_back(cluster.begin(), cluster.end());
+    }
+    return nested;
+  }
+
+  NestedPli Intersect(const NestedPli& other) const {
+    std::vector<int32_t> probe(static_cast<size_t>(num_rows), -1);
+    for (size_t k = 0; k < clusters.size(); ++k) {
+      for (RowId row : clusters[k]) {
+        probe[static_cast<size_t>(row)] = static_cast<int32_t>(k);
+      }
+    }
+    NestedPli out;
+    out.num_rows = num_rows;
+    std::unordered_map<int32_t, std::vector<RowId>> partial;
+    for (const std::vector<RowId>& cluster : other.clusters) {
+      partial.clear();
+      for (RowId row : cluster) {
+        const int32_t id = probe[static_cast<size_t>(row)];
+        if (id >= 0) partial[id].push_back(row);
+      }
+      for (auto& [id, rows] : partial) {
+        (void)id;
+        if (rows.size() >= 2) out.clusters.push_back(std::move(rows));
+      }
+    }
+    return out;
+  }
+
+  int64_t NumClusters() const {
+    return static_cast<int64_t>(clusters.size());
+  }
+};
+
+// Median-of-repetitions wall time of `body`, in microseconds.
+template <typename Body>
+int64_t MedianMicros(int repetitions, const Body& body) {
+  std::vector<int64_t> micros;
+  micros.reserve(static_cast<size_t>(repetitions));
+  for (int rep = 0; rep < repetitions; ++rep) {
+    Timer timer;
+    body();
+    micros.push_back(timer.ElapsedMicros());
+  }
+  std::sort(micros.begin(), micros.end());
+  return micros[micros.size() / 2];
+}
+
+void RunIntersectKernelComparison(bool full) {
+  bench::JsonResultWriter writer("micro_pli");
+  std::printf("intersect kernel: flat CSR vs nested-vector baseline\n");
+  std::printf("%10s %10s %12s %12s %9s\n", "rows", "clusters", "nested_us",
+              "flat_us", "speedup");
+  bench::PrintRule(58);
+
+  struct GridPoint {
+    int64_t rows;
+    int64_t cardinality;  // per-column value count => cluster count scale
+  };
+  std::vector<GridPoint> grid = {
+      {10000, 10},   {10000, 100},   {10000, 1000},
+      {100000, 10},  {100000, 100},  {100000, 1000}, {100000, 10000},
+  };
+  if (full) {
+    grid.push_back({1000000, 100});
+    grid.push_back({1000000, 10000});
+  }
+
+  for (const GridPoint& point : grid) {
+    Relation r = MakeColumns(point.rows, point.cardinality,
+                             point.cardinality);
+    const Pli a = Pli::FromColumn(r.GetColumn(0), r.NumRows());
+    const Pli b = Pli::FromColumn(r.GetColumn(1), r.NumRows());
+    const NestedPli na = NestedPli::FromFlat(a, r.NumRows());
+    const NestedPli nb = NestedPli::FromFlat(b, r.NumRows());
+
+    const int repetitions = point.rows >= 1000000 ? 5 : 11;
+    // Warm the arena / allocator before timing.
+    { Pli warm = a.Intersect(b); benchmark::DoNotOptimize(warm); }
+    { NestedPli warm = na.Intersect(nb); benchmark::DoNotOptimize(warm); }
+
+    int64_t flat_clusters = 0;
+    const int64_t flat_us = MedianMicros(repetitions, [&] {
+      Pli ab = a.Intersect(b);
+      flat_clusters = ab.NumClusters();
+      benchmark::DoNotOptimize(ab);
+    });
+    int64_t nested_clusters = 0;
+    const int64_t nested_us = MedianMicros(repetitions, [&] {
+      NestedPli ab = na.Intersect(nb);
+      nested_clusters = ab.NumClusters();
+      benchmark::DoNotOptimize(ab);
+    });
+    if (flat_clusters != nested_clusters) {
+      std::fprintf(stderr, "kernel mismatch: flat=%lld nested=%lld\n",
+                   static_cast<long long>(flat_clusters),
+                   static_cast<long long>(nested_clusters));
+    }
+
+    const double speedup = flat_us > 0
+                               ? static_cast<double>(nested_us) /
+                                     static_cast<double>(flat_us)
+                               : 0.0;
+    std::printf("%10lld %10lld %12lld %12lld %8.2fx\n",
+                static_cast<long long>(point.rows),
+                static_cast<long long>(point.cardinality),
+                static_cast<long long>(nested_us),
+                static_cast<long long>(flat_us), speedup);
+
+    const std::string name = "intersect/rows=" +
+                             std::to_string(point.rows) +
+                             "/clusters=" + std::to_string(point.cardinality);
+    writer.Add(name, static_cast<double>(flat_us) / 1e3, 1,
+               {{"rows", point.rows},
+                {"clusters", flat_clusters},
+                {"nested_us", nested_us},
+                {"flat_us", flat_us},
+                {"speedup_x100", static_cast<int64_t>(speedup * 100.0)}});
+  }
+  writer.Write();
+  std::printf("wrote BENCH_micro_pli.json\n\n");
+}
+
 }  // namespace
 }  // namespace muds
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --full before handing argv to google-benchmark (it rejects
+  // flags it does not know).
+  bool full = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--full") {
+      full = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  muds::RunIntersectKernelComparison(full);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

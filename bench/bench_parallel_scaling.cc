@@ -56,9 +56,9 @@ int main(int argc, char** argv) {
               "(R\\Z-dominated; %u hardware threads)\n",
               static_cast<long long>(rows), base_cols + derived_cols + 1,
               std::thread::hardware_concurrency());
-  std::printf("%-8s %12s %12s %10s %8s %8s %8s %15s\n", "threads",
+  std::printf("%-8s %12s %12s %10s %8s %8s %8s %15s %9s\n", "threads",
               "wall[s]", "rz[s]", "speedup", "INDs", "UCCs", "FDs",
-              "parallel_tasks");
+              "parallel_tasks", "cache");
   bench::PrintRule();
 
   bench::JsonResultWriter json("parallel_scaling");
@@ -82,16 +82,26 @@ int main(int argc, char** argv) {
       all_identical = false;
     }
     int64_t parallel_tasks = 0;
+    int64_t cache_hits = 0;
+    int64_t cache_misses = 0;
     for (const auto& [counter, value] : result.counters) {
       if (counter == "parallel_tasks") parallel_tasks = value;
+      if (counter == "pli_cache_hits") cache_hits = value;
+      if (counter == "pli_cache_misses") cache_misses = value;
     }
-    std::printf("%-8d %12.3f %12.3f %9.2fx %8zu %8zu %8zu %15lld\n", threads,
-                seconds,
+    // PLI-cache hit rate over all Get probes (§6.4: intersect work saved).
+    const int64_t probes = cache_hits + cache_misses;
+    const double hit_rate =
+        probes > 0 ? 100.0 * static_cast<double>(cache_hits) /
+                         static_cast<double>(probes)
+                   : 0.0;
+    std::printf("%-8d %12.3f %12.3f %9.2fx %8zu %8zu %8zu %15lld %8.1f%%\n",
+                threads, seconds,
                 static_cast<double>(result.timings.Micros("calculateRZ")) /
                     1e6,
                 base_seconds / seconds, result.inds.size(),
                 result.uccs.size(), result.fds.size(),
-                static_cast<long long>(parallel_tasks));
+                static_cast<long long>(parallel_tasks), hit_rate);
     std::fflush(stdout);
 
     char name[64];

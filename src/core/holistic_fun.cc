@@ -56,7 +56,7 @@ HolisticResult HolisticFun::Run(const Relation& relation, int num_threads) {
 }
 
 HolisticResult Baseline::Run(const Relation& relation, uint64_t seed,
-                             int num_threads) {
+                             int num_threads, size_t pli_budget_bytes) {
   HolisticResult result;
   ThreadPool pool(num_threads);
   result.num_threads_used = pool.NumThreads();
@@ -67,11 +67,15 @@ HolisticResult Baseline::Run(const Relation& relation, uint64_t seed,
   {
     ScopedPhaseTimer timer(&result.timings, "DUCC");
     // DUCC builds its own PLIs: no sharing in the baseline.
-    PliCache cache(relation, PliCache::kDefaultMaxEntries, &pool);
+    PliCache cache(relation, pli_budget_bytes, &pool);
     Ducc::Options options;
     options.seed = seed;
     result.uccs = Ducc::Discover(relation, &cache, options);
     result.pli_intersects += cache.NumIntersects();
+    const PliCache::Stats stats = cache.GetStats();
+    result.pli_cache_hits = stats.hits;
+    result.pli_cache_misses = stats.misses;
+    result.pli_cache_evictions = stats.evictions;
   }
   {
     ScopedPhaseTimer timer(&result.timings, "FUN");

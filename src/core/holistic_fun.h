@@ -15,6 +15,11 @@ struct HolisticResult {
   PhaseTimings timings;
   int64_t fd_checks = 0;
   int64_t pli_intersects = 0;
+  /// PLI-cache probe/eviction counters (baseline DUCC only; Holistic FUN
+  /// materializes its lattice PLIs outside the cache).
+  int64_t pli_cache_hits = 0;
+  int64_t pli_cache_misses = 0;
+  int64_t pli_cache_evictions = 0;
   /// Threads the run actually used (0 in `num_threads` resolves to the
   /// hardware concurrency).
   int num_threads_used = 1;
@@ -46,8 +51,11 @@ class HolisticFun {
 /// task-internal work.
 class Baseline {
  public:
+  /// `pli_budget_bytes` bounds DUCC's private PLI cache (0 = unlimited);
+  /// the discovered dependency sets are identical for every budget.
   static HolisticResult Run(const Relation& relation, uint64_t seed = 1,
-                            int num_threads = 1);
+                            int num_threads = 1,
+                            size_t pli_budget_bytes = size_t{1} << 30);
 };
 
 }  // namespace muds

@@ -226,10 +226,19 @@ class MudsRunner {
     const ColumnSet unchecked = candidates.Difference(knowledge.checked);
     if (!unchecked.Empty()) {
       const std::shared_ptr<const Pli> pli = cache_->Get(lhs);
+      // Batched refinement: one probe-table pass validates every unchecked
+      // right-hand side at once instead of one cluster walk per candidate.
+      batch_columns_.clear();
+      batch_indices_.clear();
       for (int a = unchecked.First(); a >= 0;
            a = unchecked.NextAtLeast(a + 1)) {
-        ++*counter;
-        if (pli->Refines(relation_.GetColumn(a))) knowledge.valid.Add(a);
+        batch_columns_.push_back(&relation_.GetColumn(a));
+        batch_indices_.push_back(a);
+      }
+      *counter += static_cast<int64_t>(batch_indices_.size());
+      pli->RefinesAll(batch_columns_, &batch_valid_);
+      for (size_t i = 0; i < batch_indices_.size(); ++i) {
+        if (batch_valid_[i]) knowledge.valid.Add(batch_indices_[i]);
       }
       knowledge.checked = knowledge.checked.Union(unchecked);
     }
@@ -343,6 +352,11 @@ class MudsRunner {
   std::unordered_map<ColumnSet, ColumnSet, ColumnSetHash> processed_shadowed_;
   std::unordered_map<ColumnSet, RhsKnowledge, ColumnSetHash> check_memo_;
   std::optional<ThreadPool> pool_;
+  // Scratch for the batched CheckFds (sequential phases only; the parallel
+  // phases go through CheckFdParallel and never touch these).
+  std::vector<const Column*> batch_columns_;
+  std::vector<int> batch_indices_;
+  std::vector<uint8_t> batch_valid_;
 };
 
 MudsResult MudsRunner::Run() {
@@ -383,6 +397,11 @@ MudsResult MudsRunner::Run() {
   result_.uccs = uccs_;
   Canonicalize(&result_.uccs);
   result_.stats.pli_intersects = cache_->NumIntersects();
+  const PliCache::Stats cache_stats = cache_->GetStats();
+  result_.stats.pli_cache_hits = cache_stats.hits;
+  result_.stats.pli_cache_misses = cache_stats.misses;
+  result_.stats.pli_cache_evictions = cache_stats.evictions;
+  result_.stats.pli_cache_bytes = cache_stats.bytes_cached;
   return result_;
 }
 
@@ -395,11 +414,11 @@ void MudsRunner::RunSpider() {
   if (pool_->NumThreads() > 1) {
     std::future<std::vector<Ind>> inds =
         pool_->Submit([this] { return Spider::Discover(relation_); });
-    cache_.emplace(relation_, PliCache::kDefaultMaxEntries, &*pool_);
+    cache_.emplace(relation_, options_.pli_budget_bytes, &*pool_);
     result_.inds = inds.get();
   } else {
     result_.inds = Spider::Discover(relation_);
-    cache_.emplace(relation_);
+    cache_.emplace(relation_, options_.pli_budget_bytes);
   }
   active_ = relation_.ActiveColumns();
 }

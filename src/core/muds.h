@@ -59,6 +59,11 @@ struct MudsOptions {
   /// dataset — bench_ablation quantifies the trade-off. Under kFixpoint it
   /// always runs (it is the only shadowed-FD discovery there).
   bool run_paper_shadowed_phase = true;
+
+  /// Byte budget for the shared PLI cache (0 = unlimited). Evicted entries
+  /// are transparently rebuilt, so the discovered dependency sets are
+  /// identical for every budget; only runtime and the cache counters vary.
+  size_t pli_budget_bytes = size_t{1} << 30;  // PliCache::kDefaultBudgetBytes
 };
 
 /// Counters describing what MUDS did; benches report these alongside
@@ -71,6 +76,13 @@ struct MudsStats {
   int64_t shadowed_tasks = 0;
   int64_t shadowed_rounds = 0;
   int64_t pli_intersects = 0;
+  /// Shared PLI cache effectiveness (§2.2-§2.3: one PLI store serves the
+  /// UCC and FD tasks): probe outcomes, second-chance evictions under the
+  /// byte budget, and the bytes cached when the run finished.
+  int64_t pli_cache_hits = 0;
+  int64_t pli_cache_misses = 0;
+  int64_t pli_cache_evictions = 0;
+  int64_t pli_cache_bytes = 0;
   /// Threads the run actually used (MudsOptions::num_threads resolved, so
   /// 0 shows up as the hardware concurrency).
   int num_threads_used = 1;

@@ -31,7 +31,7 @@ Algorithm ChooseAutomatically(const Relation& relation,
   }
   Timer timer;
   ThreadPool pool(options.num_threads);
-  PliCache cache(relation, PliCache::kDefaultMaxEntries, &pool);
+  PliCache cache(relation, options.pli_budget_bytes, &pool);
   Ducc::Options ducc_options;
   ducc_options.seed = options.seed;
   const std::vector<ColumnSet> uccs =
@@ -73,6 +73,7 @@ ProfilingResult RunOnDeduped(const Relation& relation,
       MudsOptions muds_options = options.muds;
       muds_options.seed = options.seed;
       muds_options.num_threads = options.num_threads;
+      muds_options.pli_budget_bytes = options.pli_budget_bytes;
       MudsResult muds = Muds::Run(relation, muds_options);
       result.inds = std::move(muds.inds);
       result.uccs = std::move(muds.uccs);
@@ -86,6 +87,10 @@ ProfilingResult RunOnDeduped(const Relation& relation,
           {"fd_checks_rz", muds.stats.fd_checks_rz},
           {"fd_checks_shadowed", muds.stats.fd_checks_shadowed},
           {"pli_intersects", muds.stats.pli_intersects},
+          {"pli_cache_hits", muds.stats.pli_cache_hits},
+          {"pli_cache_misses", muds.stats.pli_cache_misses},
+          {"pli_cache_evictions", muds.stats.pli_cache_evictions},
+          {"pli_cache_bytes", muds.stats.pli_cache_bytes},
           {"connector_lookups", muds.stats.connector_lookups},
           {"shadowed_tasks", muds.stats.shadowed_tasks},
           {"shadowed_rounds", muds.stats.shadowed_rounds},
@@ -100,7 +105,8 @@ ProfilingResult RunOnDeduped(const Relation& relation,
       HolisticResult holistic =
           options.algorithm == Algorithm::kHolisticFun
               ? HolisticFun::Run(relation, options.num_threads)
-              : Baseline::Run(relation, options.seed, options.num_threads);
+              : Baseline::Run(relation, options.seed, options.num_threads,
+                              options.pli_budget_bytes);
       result.inds = std::move(holistic.inds);
       result.uccs = std::move(holistic.uccs);
       result.fds = std::move(holistic.fds);
@@ -108,6 +114,9 @@ ProfilingResult RunOnDeduped(const Relation& relation,
       result.counters = {
           {"fd_checks", holistic.fd_checks},
           {"pli_intersects", holistic.pli_intersects},
+          {"pli_cache_hits", holistic.pli_cache_hits},
+          {"pli_cache_misses", holistic.pli_cache_misses},
+          {"pli_cache_evictions", holistic.pli_cache_evictions},
           {"num_threads", holistic.num_threads_used},
       };
       break;

@@ -60,6 +60,12 @@ struct ProfileOptions {
   /// sets are identical for every thread count; overrides
   /// `muds.num_threads` the same way `seed` overrides `muds.seed`.
   int num_threads = 1;
+  /// Byte budget for the PLI caches (MUDS' shared cache and the baseline's
+  /// private DUCC cache; 0 = unlimited). Overrides `muds.pli_budget_bytes`
+  /// the same way `seed` overrides `muds.seed`. The discovered dependency
+  /// sets are identical for every budget — a tight budget only trades
+  /// rebuild work for memory.
+  size_t pli_budget_bytes = size_t{1} << 30;
   /// MUDS-specific knobs (its `seed` field is overridden by `seed` above).
   MudsOptions muds;
   /// CSV dialect for the CSV entry points.

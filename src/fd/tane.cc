@@ -59,6 +59,11 @@ FdDiscoveryResult Tane::Discover(const Relation& relation) {
   std::vector<Node> prev_level;
   LevelMap prev_index;
 
+  // Scratch for the batched key-FD minimality checks, reused across nodes.
+  std::vector<const Column*> batch_columns;
+  std::vector<int> batch_indices;
+  std::vector<uint8_t> batch_valid;
+
   const auto prev_node = [&](const ColumnSet& set) -> const Node& {
     auto it = prev_index.find(set);
     MUDS_CHECK_MSG(it != prev_index.end(), "missing TANE lattice node");
@@ -102,21 +107,30 @@ FdDiscoveryResult Tane::Discover(const Relation& relation) {
         node.is_key = true;
         result.uccs.push_back(node.set);
         // Key FDs: X → A for A in C+(X) \ X, kept only when minimal (no
-        // direct subset already determines A).
-        const ColumnSet candidates = node.cplus.Difference(node.set);
-        for (int a = candidates.First(); a >= 0;
-             a = candidates.NextAtLeast(a + 1)) {
-          bool minimal = true;
-          for (int b = node.set.First(); minimal && b >= 0;
-               b = node.set.NextAtLeast(b + 1)) {
-            const ColumnSet sub = node.set.Without(b);
-            if (sub.Empty()) continue;  // ∅ never determines an active column.
-            ++result.fd_checks;
-            if (prev_node(sub).pli->Refines(relation.GetColumn(a))) {
-              minimal = false;
-            }
+        // direct subset already determines A). Each direct subset's PLI
+        // validates every still-minimal candidate in one batched pass;
+        // candidates drop out as soon as some subset determines them.
+        ColumnSet remaining = node.cplus.Difference(node.set);
+        for (int b = node.set.First(); b >= 0 && !remaining.Empty();
+             b = node.set.NextAtLeast(b + 1)) {
+          const ColumnSet sub = node.set.Without(b);
+          if (sub.Empty()) continue;  // ∅ never determines an active column.
+          batch_columns.clear();
+          batch_indices.clear();
+          for (int a = remaining.First(); a >= 0;
+               a = remaining.NextAtLeast(a + 1)) {
+            batch_columns.push_back(&relation.GetColumn(a));
+            batch_indices.push_back(a);
           }
-          if (minimal) result.fds.push_back(Fd{node.set, a});
+          result.fd_checks += static_cast<int64_t>(batch_indices.size());
+          prev_node(sub).pli->RefinesAll(batch_columns, &batch_valid);
+          for (size_t i = 0; i < batch_indices.size(); ++i) {
+            if (batch_valid[i]) remaining.Remove(batch_indices[i]);
+          }
+        }
+        for (int a = remaining.First(); a >= 0;
+             a = remaining.NextAtLeast(a + 1)) {
+          result.fds.push_back(Fd{node.set, a});
         }
         node.deleted = true;
       }

@@ -7,9 +7,9 @@
 
 namespace muds {
 
-PliCache::PliCache(const Relation& relation, size_t max_entries,
+PliCache::PliCache(const Relation& relation, size_t budget_bytes,
                    ThreadPool* pool)
-    : relation_(&relation), max_entries_(max_entries) {
+    : relation_(&relation), budget_bytes_(budget_bytes) {
   const int n = relation.NumColumns();
   std::vector<std::shared_ptr<const Pli>> singles(static_cast<size_t>(n));
   const auto build = [&](int64_t c) {
@@ -23,45 +23,76 @@ PliCache::PliCache(const Relation& relation, size_t max_entries,
   }
   for (int c = 0; c < n; ++c) {
     Insert(ColumnSet::Single(c), std::move(singles[static_cast<size_t>(c)]),
-           /*always_keep=*/true);
+           /*pinned=*/true);
   }
   Insert(ColumnSet(),
          std::make_shared<Pli>(Pli::ForEmptySet(relation.NumRows())),
-         /*always_keep=*/true);
-  // The always-kept entries do not count against the cap.
-  max_entries_ += num_cached_.load(std::memory_order_relaxed);
+         /*pinned=*/true);
 }
 
 std::shared_ptr<const Pli> PliCache::Find(const ColumnSet& columns) const {
   const Shard& shard = ShardFor(columns);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.map.find(columns);
-  return it == shard.map.end() ? nullptr : it->second;
+  if (it == shard.map.end()) return nullptr;
+  // Safe under the shard mutex; gives the entry its second chance.
+  const_cast<Entry&>(it->second).referenced = true;
+  return it->second.pli;
+}
+
+void PliCache::EvictFromShard(Shard* shard) {
+  if (budget_bytes_ == kUnlimitedBudget) return;
+  while (bytes_cached_.load(std::memory_order_relaxed) > budget_bytes_ &&
+         !shard->clock.empty()) {
+    ColumnSet victim = std::move(shard->clock.front());
+    shard->clock.pop_front();
+    auto it = shard->map.find(victim);
+    if (it == shard->map.end()) continue;  // Already evicted; stale key.
+    // Pinned entries never enter the clock queue.
+    MUDS_CHECK(!it->second.pinned);
+    if (it->second.referenced) {
+      it->second.referenced = false;
+      shard->clock.push_back(std::move(victim));
+      continue;
+    }
+    bytes_cached_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+    num_cached_.fetch_sub(1, std::memory_order_release);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    shard->map.erase(it);
+  }
 }
 
 std::shared_ptr<const Pli> PliCache::Insert(const ColumnSet& columns,
                                             std::shared_ptr<const Pli> pli,
-                                            bool always_keep) {
+                                            bool pinned) {
   Shard& shard = ShardFor(columns);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.map.find(columns);
-  if (it != shard.map.end()) return it->second;
-  if (!always_keep &&
-      num_cached_.load(std::memory_order_relaxed) >= max_entries_) {
-    return pli;
-  }
-  shard.map.emplace(columns, pli);
+  if (it != shard.map.end()) return it->second.pli;
+  Entry entry;
+  entry.bytes = pli->MemoryBytes();
+  entry.pinned = pinned;
+  entry.pli = pli;
+  shard.map.emplace(columns, std::move(entry));
+  if (!pinned) shard.clock.push_back(columns);
+  bytes_cached_.fetch_add(pli->MemoryBytes(), std::memory_order_relaxed);
   num_cached_.fetch_add(1, std::memory_order_release);
+  if (!pinned) EvictFromShard(&shard);
   return pli;
 }
 
 std::shared_ptr<const Pli> PliCache::Get(const ColumnSet& columns) {
-  if (std::shared_ptr<const Pli> hit = Find(columns)) return hit;
+  if (std::shared_ptr<const Pli> hit = Find(columns)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return hit;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
 
   // Build by intersecting the PLI of (columns minus its last column) with
   // the last single-column PLI. This caches every prefix of the sorted
   // column list, so related look-ups (the lattice walks probe neighbors)
-  // hit the cache.
+  // hit the cache. Prefix probes are internal — they do not count toward
+  // the hit/miss totals.
   std::vector<int> indices = columns.ToIndices();
   MUDS_CHECK(!indices.empty());
   ColumnSet prefix;
@@ -76,6 +107,8 @@ std::shared_ptr<const Pli> PliCache::Get(const ColumnSet& columns) {
     }
     const std::shared_ptr<const Pli> single =
         Find(ColumnSet::Single(indices[i]));
+    // Single-column PLIs are pinned, so an evicting cache still bottoms
+    // out here.
     MUDS_CHECK(single != nullptr);
     auto combined = std::make_shared<Pli>(pli->Intersect(*single));
     num_intersects_.fetch_add(1, std::memory_order_relaxed);
@@ -88,7 +121,9 @@ std::shared_ptr<const Pli> PliCache::Get(const ColumnSet& columns) {
 
 std::shared_ptr<const Pli> PliCache::GetIfCached(
     const ColumnSet& columns) const {
-  return Find(columns);
+  std::shared_ptr<const Pli> hit = Find(columns);
+  (hit != nullptr ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+  return hit;
 }
 
 void PliCache::Put(const ColumnSet& columns, std::shared_ptr<const Pli> pli) {

@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -22,28 +23,45 @@ namespace muds {
 /// Single-column PLIs are built eagerly at construction; multi-column PLIs
 /// are built on demand by intersecting cached subsets.
 ///
+/// Memory management: the cache holds at most `budget_bytes` of PLI payload
+/// (as reported by Pli::MemoryBytes()). Single-column PLIs and the
+/// empty-set PLI are pinned — they are the mandatory working set every
+/// traversal bottoms out on and are never evicted (their bytes still count
+/// toward the total). Derived entries are evicted per shard with a
+/// second-chance (clock) policy: a cache hit sets the entry's reference
+/// bit, and the evictor skips each referenced entry once before reclaiming
+/// it — the LRU-approximating reuse that lattice-sized DUCC/MUDS workloads
+/// need, instead of the old hard cap that silently stopped caching.
+/// Eviction never affects correctness: an evicted set is transparently
+/// rebuilt (identically — PLI construction is deterministic) on the next
+/// Get. A budget of 0 disables eviction entirely.
+///
 /// Thread safety: the cache is safe for concurrent Get/GetIfCached/Put/
-/// Size/NumIntersects. Entries live in a fixed number of hash-sharded maps,
-/// each behind its own mutex, so concurrent sub-lattice traversals (which
-/// probe mostly disjoint column sets) rarely contend. When two threads race
-/// to build the same column set, the first inserted entry wins and both
-/// callers observe the same shared_ptr; the loser's PLI is dropped (both
-/// are equal — PLI construction is deterministic in the inputs).
-/// Pli::Intersect itself keeps per-thread scratch buffers, so concurrent
-/// intersects are safe.
+/// Size/NumIntersects/GetStats. Entries live in a fixed number of
+/// hash-sharded maps, each behind its own mutex, so concurrent sub-lattice
+/// traversals (which probe mostly disjoint column sets) rarely contend.
+/// Eviction runs under the inserting shard's mutex and only touches that
+/// shard, so the byte budget is enforced approximately across shards. When
+/// two threads race to build the same column set, the first inserted entry
+/// wins and both callers observe the same shared_ptr; the loser's PLI is
+/// dropped (both are equal — PLI construction is deterministic in the
+/// inputs). Pli::Intersect itself keeps per-thread scratch buffers, so
+/// concurrent intersects are safe.
 class PliCache {
  public:
-  /// Builds the per-column PLIs of `relation`. The relation must outlive
-  /// the cache. `max_entries` bounds the number of cached multi-column
-  /// PLIs (single columns and the empty set are always kept); once the
-  /// bound is hit, derived PLIs are still returned but no longer stored.
-  /// If `pool` is non-null and parallel, the single-column PLIs are built
-  /// concurrently (one task per column — they are independent).
-  explicit PliCache(const Relation& relation,
-                    size_t max_entries = kDefaultMaxEntries,
-                    ThreadPool* pool = nullptr);
+  /// Default byte budget for cached PLIs (1 GiB).
+  static constexpr size_t kDefaultBudgetBytes = size_t{1} << 30;
 
-  static constexpr size_t kDefaultMaxEntries = 1u << 20;
+  /// Budget value meaning "never evict".
+  static constexpr size_t kUnlimitedBudget = 0;
+
+  /// Builds the per-column PLIs of `relation`. The relation must outlive
+  /// the cache. `budget_bytes` bounds the cached PLI payload (0 = no
+  /// bound). If `pool` is non-null and parallel, the single-column PLIs are
+  /// built concurrently (one task per column — they are independent).
+  explicit PliCache(const Relation& relation,
+                    size_t budget_bytes = kDefaultBudgetBytes,
+                    ThreadPool* pool = nullptr);
 
   PliCache(const PliCache&) = delete;
   PliCache& operator=(const PliCache&) = delete;
@@ -64,7 +82,8 @@ class PliCache {
   const Relation& relation() const { return *relation_; }
 
   /// Number of cached entries (including single columns). Consistent under
-  /// concurrent insertion: counts exactly the entries committed to shards.
+  /// concurrent insertion and eviction: counts exactly the entries
+  /// committed to shards.
   size_t Size() const {
     return num_cached_.load(std::memory_order_acquire);
   }
@@ -76,13 +95,47 @@ class PliCache {
     return num_intersects_.load(std::memory_order_relaxed);
   }
 
+  /// Cache effectiveness counters; benches and MudsStats surface these.
+  /// hits + misses equals the number of Get/GetIfCached probes (internal
+  /// prefix look-ups during a build are not counted — a Get that has to
+  /// build counts as exactly one miss).
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    /// Bytes currently held by cached entries (pinned + derived).
+    int64_t bytes_cached = 0;
+  };
+  Stats GetStats() const {
+    Stats stats;
+    stats.hits = hits_.load(std::memory_order_relaxed);
+    stats.misses = misses_.load(std::memory_order_relaxed);
+    stats.evictions = evictions_.load(std::memory_order_relaxed);
+    stats.bytes_cached =
+        static_cast<int64_t>(bytes_cached_.load(std::memory_order_relaxed));
+    return stats;
+  }
+
+  size_t budget_bytes() const { return budget_bytes_; }
+
  private:
   static constexpr size_t kNumShards = 16;
 
+  struct Entry {
+    std::shared_ptr<const Pli> pli;
+    size_t bytes = 0;
+    bool pinned = false;
+    /// Second-chance bit: set on every cache hit, cleared (once) by the
+    /// clock hand before the entry becomes an eviction victim.
+    bool referenced = false;
+  };
+
   struct Shard {
     mutable std::mutex mutex;
-    std::unordered_map<ColumnSet, std::shared_ptr<const Pli>, ColumnSetHash>
-        map;
+    std::unordered_map<ColumnSet, Entry, ColumnSetHash> map;
+    /// Clock queue over the unpinned entries, oldest-inserted first. Keys
+    /// of already-evicted entries may linger and are skipped lazily.
+    std::deque<ColumnSet> clock;
   };
 
   Shard& ShardFor(const ColumnSet& columns) {
@@ -92,21 +145,34 @@ class PliCache {
     return shards_[columns.Hash() % kNumShards];
   }
 
+  // Looks `columns` up in its shard; sets the reference bit on a hit. Does
+  // not touch the hit/miss counters (callers decide what counts as a
+  // probe).
   std::shared_ptr<const Pli> Find(const ColumnSet& columns) const;
 
-  // Commits `pli` for `columns` unless an entry already exists or the cap
-  // is reached; returns the canonical entry (the existing one on a lost
-  // race, `pli` itself otherwise). `always_keep` bypasses the cap (single
-  // columns and the empty set).
+  // Commits `pli` for `columns` unless an entry already exists; returns
+  // the canonical entry (the existing one on a lost race, `pli` itself
+  // otherwise). `pinned` entries (single columns and the empty set) are
+  // exempt from eviction. Runs the shard-local evictor afterwards when the
+  // byte budget is exceeded.
   std::shared_ptr<const Pli> Insert(const ColumnSet& columns,
                                     std::shared_ptr<const Pli> pli,
-                                    bool always_keep = false);
+                                    bool pinned = false);
+
+  // Evicts unpinned entries from `shard` (second chance, oldest first)
+  // until the global byte total drops to the budget or the shard has no
+  // unpinned entries left. Caller must hold shard.mutex.
+  void EvictFromShard(Shard* shard);
 
   const Relation* relation_;
   std::array<Shard, kNumShards> shards_;
-  size_t max_entries_;
+  size_t budget_bytes_;
   std::atomic<size_t> num_cached_{0};
+  std::atomic<size_t> bytes_cached_{0};
   std::atomic<int64_t> num_intersects_{0};
+  mutable std::atomic<int64_t> hits_{0};
+  mutable std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
 };
 
 }  // namespace muds

@@ -1,45 +1,115 @@
 #include "pli/position_list_index.h"
 
 #include <algorithm>
+#include <limits>
+#include <numeric>
 #include <utility>
 
 #include "common/check.h"
 
 namespace muds {
 
-Pli::Pli(std::vector<Cluster> clusters, RowId num_rows)
-    : clusters_(std::move(clusters)), num_rows_(num_rows) {
-  non_singleton_rows_ = 0;
-  for (const Cluster& cluster : clusters_) {
+namespace {
+
+// Reusable per-thread scratch for the PLI kernels. Buffers grow to the
+// high-water mark of the thread's workload and are then reused for every
+// build/intersect/refinement — the kernels themselves perform no heap
+// allocation beyond the exact-size buffers of a returned Pli. (§6.4 names
+// the PLI intersect as the dominant profiling cost; on short relations the
+// old nested-vector code spent most of that cost in the allocator.)
+struct Arena {
+  std::vector<int32_t> probe;       // Cluster id per row, -1 for singletons.
+  std::vector<uint32_t> count;      // Per-target-cluster occurrence counts.
+  std::vector<uint32_t> cursor;     // Per-target-cluster write positions.
+  std::vector<int32_t> touched;     // Target ids hit by the current cluster.
+  std::vector<RowId> scratch_rows;  // Compacted result rows.
+  std::vector<uint32_t> scratch_offsets;
+  std::vector<int32_t> expected;    // RefinesAll: code per (cluster, cand).
+};
+
+thread_local Arena t_arena;
+
+constexpr uint32_t kSkip = std::numeric_limits<uint32_t>::max();
+
+}  // namespace
+
+Pli::Pli(std::vector<RowId> rows, std::vector<uint32_t> offsets,
+         RowId num_rows)
+    : rows_(std::move(rows)), offsets_(std::move(offsets)),
+      num_rows_(num_rows) {
+  MUDS_DCHECK(!offsets_.empty() && offsets_.front() == 0 &&
+              offsets_.back() == rows_.size());
+}
+
+Pli::Pli(const std::vector<Cluster>& clusters, RowId num_rows)
+    : num_rows_(num_rows) {
+  size_t total = 0;
+  for (const Cluster& cluster : clusters) {
     MUDS_DCHECK(cluster.size() >= 2);
-    non_singleton_rows_ += static_cast<int64_t>(cluster.size());
+    total += cluster.size();
+  }
+  rows_.reserve(total);
+  offsets_.reserve(clusters.size() + 1);
+  offsets_.push_back(0);
+  for (const Cluster& cluster : clusters) {
+    rows_.insert(rows_.end(), cluster.begin(), cluster.end());
+    offsets_.push_back(static_cast<uint32_t>(rows_.size()));
   }
 }
 
 Pli Pli::FromColumn(const Column& column, RowId num_rows) {
   MUDS_CHECK(static_cast<RowId>(column.codes.size()) == num_rows);
-  std::vector<Cluster> buckets(column.dictionary.size());
+  const size_t cardinality = column.dictionary.size();
+  Arena& arena = t_arena;
+
+  // Counting sort over the dictionary codes: count, size the result
+  // exactly, then scatter. Clusters come out in code (i.e. value) order and
+  // rows in ascending row order — the same layout the nested builder
+  // produced.
+  arena.count.assign(cardinality, 0);
   for (RowId row = 0; row < num_rows; ++row) {
-    buckets[static_cast<size_t>(column.codes[static_cast<size_t>(row)])]
-        .push_back(row);
+    ++arena.count[static_cast<size_t>(column.codes[static_cast<size_t>(row)])];
   }
-  std::vector<Cluster> clusters;
-  for (Cluster& bucket : buckets) {
-    if (bucket.size() >= 2) clusters.push_back(std::move(bucket));
+  size_t out_rows = 0;
+  size_t out_clusters = 0;
+  for (size_t c = 0; c < cardinality; ++c) {
+    if (arena.count[c] >= 2) {
+      out_rows += arena.count[c];
+      ++out_clusters;
+    }
   }
-  return Pli(std::move(clusters), num_rows);
+  std::vector<RowId> rows(out_rows);
+  std::vector<uint32_t> offsets;
+  offsets.reserve(out_clusters + 1);
+  offsets.push_back(0);
+  if (arena.cursor.size() < cardinality) arena.cursor.resize(cardinality);
+  uint32_t position = 0;
+  for (size_t c = 0; c < cardinality; ++c) {
+    if (arena.count[c] >= 2) {
+      arena.cursor[c] = position;
+      position += arena.count[c];
+      offsets.push_back(position);
+    } else {
+      arena.cursor[c] = kSkip;
+    }
+  }
+  for (RowId row = 0; row < num_rows; ++row) {
+    const size_t c =
+        static_cast<size_t>(column.codes[static_cast<size_t>(row)]);
+    if (arena.cursor[c] != kSkip) rows[arena.cursor[c]++] = row;
+  }
+  return Pli(std::move(rows), std::move(offsets), num_rows);
 }
 
 Pli Pli::ForEmptySet(RowId num_rows) {
-  std::vector<Cluster> clusters;
+  std::vector<RowId> rows;
+  std::vector<uint32_t> offsets = {0};
   if (num_rows >= 2) {
-    Cluster all(static_cast<size_t>(num_rows));
-    for (RowId row = 0; row < num_rows; ++row) {
-      all[static_cast<size_t>(row)] = row;
-    }
-    clusters.push_back(std::move(all));
+    rows.resize(static_cast<size_t>(num_rows));
+    std::iota(rows.begin(), rows.end(), RowId{0});
+    offsets.push_back(static_cast<uint32_t>(num_rows));
   }
-  return Pli(std::move(clusters), num_rows);
+  return Pli(std::move(rows), std::move(offsets), num_rows);
 }
 
 Pli Pli::Intersect(const Pli& other) const {
@@ -47,45 +117,74 @@ Pli Pli::Intersect(const Pli& other) const {
   // Probe with the PLI that has fewer clustered rows: rows outside its
   // clusters can never appear in an intersected cluster.
   const Pli& small =
-      non_singleton_rows_ <= other.non_singleton_rows_ ? *this : other;
+      NumNonSingletonRows() <= other.NumNonSingletonRows() ? *this : other;
   const Pli& large = &small == this ? other : *this;
 
-  // Scratch buffers persist across calls (§6.4 names the PLI intersect as
-  // the dominant profiling cost; reusing the probe table and buckets
-  // removes the per-intersect allocation churn that dominates on short
-  // relations).
-  thread_local std::vector<int32_t> probe;
-  thread_local std::vector<Cluster> buckets;
-  thread_local std::vector<int32_t> touched;
-  large.FillProbeTable(&probe);
+  Arena& arena = t_arena;
+  large.FillProbeTable(&arena.probe);
 
-  std::vector<Cluster> result;
-  if (buckets.size() < static_cast<size_t>(large.NumClusters())) {
-    buckets.resize(static_cast<size_t>(large.NumClusters()));
-  }
-  for (const Cluster& cluster : small.clusters_) {
-    touched.clear();
-    for (RowId row : cluster) {
-      const int32_t id = probe[static_cast<size_t>(row)];
+  // Bucket compaction per small cluster: count the rows landing in each
+  // probe cluster, assign contiguous ranges for the survivors (count >= 2),
+  // scatter the rows, and reset the touched counters — all inside the
+  // arena, with the compacted result laid out flat as it is produced.
+  const size_t num_large = static_cast<size_t>(large.NumClusters());
+  arena.count.assign(num_large, 0);
+  if (arena.cursor.size() < num_large) arena.cursor.resize(num_large);
+  const size_t max_rows = static_cast<size_t>(small.NumNonSingletonRows());
+  if (arena.scratch_rows.size() < max_rows) arena.scratch_rows.resize(max_rows);
+  arena.scratch_offsets.clear();
+  arena.scratch_offsets.push_back(0);
+
+  uint32_t out_position = 0;
+  const int64_t num_small = small.NumClusters();
+  for (int64_t i = 0; i < num_small; ++i) {
+    const std::span<const RowId> cluster = small.cluster(i);
+    arena.touched.clear();
+    for (const RowId row : cluster) {
+      const int32_t id = arena.probe[static_cast<size_t>(row)];
       if (id < 0) continue;
-      if (buckets[static_cast<size_t>(id)].empty()) touched.push_back(id);
-      buckets[static_cast<size_t>(id)].push_back(row);
+      if (arena.count[static_cast<size_t>(id)] == 0) arena.touched.push_back(id);
+      ++arena.count[static_cast<size_t>(id)];
     }
-    for (int32_t id : touched) {
-      Cluster& bucket = buckets[static_cast<size_t>(id)];
-      if (bucket.size() >= 2) result.push_back(std::move(bucket));
-      bucket.clear();
+    for (const int32_t id : arena.touched) {
+      const uint32_t count = arena.count[static_cast<size_t>(id)];
+      if (count >= 2) {
+        arena.cursor[static_cast<size_t>(id)] = out_position;
+        out_position += count;
+        arena.scratch_offsets.push_back(out_position);
+      } else {
+        arena.cursor[static_cast<size_t>(id)] = kSkip;
+      }
+    }
+    for (const RowId row : cluster) {
+      const int32_t id = arena.probe[static_cast<size_t>(row)];
+      if (id < 0) continue;
+      uint32_t& cursor = arena.cursor[static_cast<size_t>(id)];
+      if (cursor != kSkip) arena.scratch_rows[cursor++] = row;
+    }
+    for (const int32_t id : arena.touched) {
+      arena.count[static_cast<size_t>(id)] = 0;
     }
   }
-  return Pli(std::move(result), num_rows_);
+
+  // Exact-size result buffers: the one unavoidable allocation (the Pli owns
+  // its memory) — a single sequential copy out of the arena.
+  std::vector<RowId> rows(arena.scratch_rows.begin(),
+                          arena.scratch_rows.begin() + out_position);
+  std::vector<uint32_t> offsets(arena.scratch_offsets.begin(),
+                                arena.scratch_offsets.end());
+  return Pli(std::move(rows), std::move(offsets), num_rows_);
 }
 
 bool Pli::Refines(const Column& column) const {
-  for (const Cluster& cluster : clusters_) {
+  const int64_t num_clusters = NumClusters();
+  for (int64_t i = 0; i < num_clusters; ++i) {
+    const size_t begin = offsets_[static_cast<size_t>(i)];
+    const size_t end = offsets_[static_cast<size_t>(i) + 1];
     const int32_t expected =
-        column.codes[static_cast<size_t>(cluster.front())];
-    for (size_t i = 1; i < cluster.size(); ++i) {
-      if (column.codes[static_cast<size_t>(cluster[i])] != expected) {
+        column.codes[static_cast<size_t>(rows_[begin])];
+    for (size_t j = begin + 1; j < end; ++j) {
+      if (column.codes[static_cast<size_t>(rows_[j])] != expected) {
         return false;
       }
     }
@@ -93,12 +192,58 @@ bool Pli::Refines(const Column& column) const {
   return true;
 }
 
+void Pli::RefinesAll(std::span<const Column* const> columns,
+                     std::vector<uint8_t>* valid) const {
+  const size_t k = columns.size();
+  valid->assign(k, 1);
+  if (k == 0 || rows_.empty()) return;
+  const size_t num_clusters = static_cast<size_t>(NumClusters());
+  // The streaming scan pays one probe-table fill plus an expected-code
+  // matrix of num_clusters * k entries. For a single candidate — or a
+  // matrix too large to be worth materializing — the per-cluster walk wins.
+  if (k == 1 || num_clusters * k > (1u << 22)) {
+    for (size_t j = 0; j < k; ++j) {
+      (*valid)[j] = Refines(*columns[j]) ? 1 : 0;
+    }
+    return;
+  }
+
+  Arena& arena = t_arena;
+  FillProbeTable(&arena.probe);
+  arena.expected.assign(num_clusters * k, -1);
+  size_t alive = k;
+  for (RowId row = 0; row < num_rows_; ++row) {
+    const int32_t id = arena.probe[static_cast<size_t>(row)];
+    if (id < 0) continue;
+    int32_t* expected = arena.expected.data() + static_cast<size_t>(id) * k;
+    for (size_t j = 0; j < k; ++j) {
+      if (!(*valid)[j]) continue;
+      const int32_t code =
+          columns[j]->codes[static_cast<size_t>(row)];
+      if (expected[j] < 0) {
+        expected[j] = code;
+      } else if (expected[j] != code) {
+        (*valid)[j] = 0;
+        if (--alive == 0) return;
+      }
+    }
+  }
+}
+
 void Pli::FillProbeTable(std::vector<int32_t>* probe) const {
-  probe->assign(static_cast<size_t>(num_rows_), -1);
-  int32_t id = 0;
-  for (const Cluster& cluster : clusters_) {
-    for (RowId row : cluster) (*probe)[static_cast<size_t>(row)] = id;
-    ++id;
+  const size_t n = static_cast<size_t>(num_rows_);
+  if (probe->size() == n) {
+    std::fill(probe->begin(), probe->end(), -1);
+  } else {
+    probe->assign(n, -1);
+  }
+  const int64_t num_clusters = NumClusters();
+  for (int64_t i = 0; i < num_clusters; ++i) {
+    const size_t begin = offsets_[static_cast<size_t>(i)];
+    const size_t end = offsets_[static_cast<size_t>(i) + 1];
+    for (size_t j = begin; j < end; ++j) {
+      (*probe)[static_cast<size_t>(rows_[j])] = static_cast<int32_t>(i);
+    }
   }
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "data/relation.h"
@@ -19,21 +20,39 @@ namespace muds {
 /// This is the data structure shared between the UCC and FD tasks in the
 /// holistic algorithms: it is built once per column while the input is read
 /// and then only ever intersected.
+///
+/// Storage is a flat CSR layout: one contiguous row-id array plus an offset
+/// array with one entry per cluster boundary (offsets()[i] .. offsets()[i+1]
+/// delimit cluster i). Compared to the earlier vector-of-vectors layout this
+/// removes one heap allocation and one pointer chase per cluster — §6.4
+/// names the PLI intersect as the dominant profiling cost, and on the short,
+/// many-cluster relations of the lattice walks that cost was allocator-bound.
+/// All construction paths (FromColumn, Intersect) are allocation-free
+/// kernels over a reusable thread-local arena; the only allocations are the
+/// exact-size buffers of the returned PLI itself.
 class Pli {
  public:
+  /// Materialized cluster type, kept for test oracles and builders that
+  /// assemble clusters incrementally; the Pli itself stores CSR.
   using Cluster = std::vector<RowId>;
 
-  /// Builds the PLI of a single column.
+  /// Builds the PLI of a single column (counting sort over the dictionary
+  /// codes; no per-cluster allocations).
   static Pli FromColumn(const Column& column, RowId num_rows);
 
   /// PLI of the empty column combination: one cluster holding every row
   /// (empty if the relation has fewer than two rows).
   static Pli ForEmptySet(RowId num_rows);
 
-  Pli(std::vector<Cluster> clusters, RowId num_rows);
+  /// Flattens materialized clusters into CSR. Every cluster must have
+  /// size >= 2 (checked in debug builds). Compatibility/test path — the hot
+  /// construction paths never materialize nested clusters.
+  Pli(const std::vector<Cluster>& clusters, RowId num_rows);
 
-  /// Intersects two PLIs: the PLI of X ∪ Y from the PLIs of X and Y,
-  /// via the probe-table method (pair-wise id-set intersection).
+  /// Intersects two PLIs: the PLI of X ∪ Y from the PLIs of X and Y, via
+  /// the probe-table method (pair-wise id-set intersection). Bucket
+  /// compaction runs entirely in a thread-local arena and the result is
+  /// written into its final flat buffers — no per-cluster allocations.
   Pli Intersect(const Pli& other) const;
 
   /// True if X functionally determines the column with the given codes
@@ -41,37 +60,72 @@ class Pli {
   /// column). Cheaper than a full Intersect when only validity is needed.
   bool Refines(const Column& column) const;
 
+  /// Batched refinement: validates every candidate column in `columns` at
+  /// once and writes 1/0 per candidate into `valid` (resized to
+  /// `columns.size()`). Fills the probe table once, then streams the rows
+  /// sequentially, so the per-candidate cost is one sequential read of the
+  /// candidate's code array instead of one random-access cluster walk each —
+  /// the lattice check loops validate many right-hand sides against the same
+  /// left-hand side PLI (§5.1/§5.2). Candidates drop out of the scan as
+  /// soon as they are violated; the scan stops when none survive.
+  void RefinesAll(std::span<const Column* const> columns,
+                  std::vector<uint8_t>* valid) const;
+
   /// True if the underlying column combination is a UCC: no duplicate
   /// projections, i.e. no (stripped) cluster remains.
-  bool IsUnique() const { return clusters_.empty(); }
+  bool IsUnique() const { return rows_.empty(); }
 
   /// Number of stripped clusters.
   int64_t NumClusters() const {
-    return static_cast<int64_t>(clusters_.size());
+    return static_cast<int64_t>(offsets_.size()) - 1;
   }
 
   /// Number of rows that appear in some cluster (i.e. have a duplicate).
-  int64_t NumNonSingletonRows() const { return non_singleton_rows_; }
+  int64_t NumNonSingletonRows() const {
+    return static_cast<int64_t>(rows_.size());
+  }
 
   /// Number of distinct values of the projection — the cardinality |X|r that
   /// drives FUN's partition-refinement test (Lemma 1).
   int64_t DistinctCount() const {
-    return static_cast<int64_t>(num_rows_) - non_singleton_rows_ +
+    return static_cast<int64_t>(num_rows_) - NumNonSingletonRows() +
            NumClusters();
   }
 
   RowId NumRows() const { return num_rows_; }
 
-  const std::vector<Cluster>& clusters() const { return clusters_; }
+  /// Cluster `i` as a view into the flat row array.
+  std::span<const RowId> cluster(int64_t i) const {
+    return {rows_.data() + offsets_[static_cast<size_t>(i)],
+            rows_.data() + offsets_[static_cast<size_t>(i) + 1]};
+  }
+
+  /// All clustered rows, concatenated in cluster order.
+  std::span<const RowId> rows() const { return rows_; }
+
+  /// Cluster boundaries: cluster i spans offsets()[i] .. offsets()[i+1].
+  /// Always has NumClusters() + 1 entries (a lone 0 for an empty PLI).
+  std::span<const uint32_t> offsets() const { return offsets_; }
+
+  /// Heap footprint of this PLI in bytes — what the byte-budgeted PliCache
+  /// charges for a cached entry.
+  size_t MemoryBytes() const {
+    return rows_.capacity() * sizeof(RowId) +
+           offsets_.capacity() * sizeof(uint32_t) + sizeof(Pli);
+  }
 
   /// Fills `probe` (size num_rows) with the cluster id of each row, or -1
-  /// for rows in singleton clusters. Exposed for bulk FD checks.
+  /// for rows in singleton clusters. Exposed for bulk FD checks. Reuses the
+  /// buffer in place when it is already the right size.
   void FillProbeTable(std::vector<int32_t>* probe) const;
 
  private:
-  std::vector<Cluster> clusters_;
+  // Takes ownership of pre-sized CSR buffers (the kernel entry point).
+  Pli(std::vector<RowId> rows, std::vector<uint32_t> offsets, RowId num_rows);
+
+  std::vector<RowId> rows_;        // Clustered rows, concatenated.
+  std::vector<uint32_t> offsets_;  // NumClusters() + 1 cluster boundaries.
   RowId num_rows_;
-  int64_t non_singleton_rows_;
 };
 
 }  // namespace muds

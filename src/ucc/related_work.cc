@@ -1,5 +1,6 @@
 #include "ucc/related_work.h"
 
+#include <span>
 #include <unordered_set>
 #include <utility>
 
@@ -43,7 +44,8 @@ std::vector<ColumnSet> GordianStyleUcc::Discover(const Relation& relation,
   std::unordered_set<std::pair<RowId, RowId>, RowPairHash> seen;
   for (int c = universe.First(); c >= 0; c = universe.NextAtLeast(c + 1)) {
     const Pli pli = Pli::FromColumn(relation.GetColumn(c), relation.NumRows());
-    for (const auto& cluster : pli.clusters()) {
+    for (int64_t k = 0; k < pli.NumClusters(); ++k) {
+      const std::span<const RowId> cluster = pli.cluster(k);
       for (size_t i = 0; i < cluster.size(); ++i) {
         for (size_t j = i + 1; j < cluster.size(); ++j) {
           const std::pair<RowId, RowId> pair{cluster[i], cluster[j]};

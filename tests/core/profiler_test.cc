@@ -94,6 +94,28 @@ TEST(ProfilerTest, MissingFilePropagatesError) {
   EXPECT_EQ(result.status().code(), StatusCode::kIoError);
 }
 
+TEST(ProfilerTest, TinyPliBudgetDoesNotChangeResults) {
+  // An eviction-forcing budget only trades rebuild work for memory: the
+  // discovered dependency sets must be identical, for every algorithm and
+  // thread count.
+  const Relation r = RandomRelation(11, 6, 120, 3);
+  for (Algorithm algorithm : {Algorithm::kMuds, Algorithm::kBaseline}) {
+    for (int threads : {1, 2}) {
+      ProfileOptions unlimited;
+      unlimited.algorithm = algorithm;
+      unlimited.num_threads = threads;
+      unlimited.pli_budget_bytes = 0;
+      ProfileOptions tiny = unlimited;
+      tiny.pli_budget_bytes = 1;
+      const ProfilingResult a = ProfileRelation(r, unlimited);
+      const ProfilingResult b = ProfileRelation(r, tiny);
+      EXPECT_EQ(a.inds, b.inds) << AlgorithmName(algorithm);
+      EXPECT_EQ(a.uccs, b.uccs) << AlgorithmName(algorithm);
+      EXPECT_EQ(a.fds, b.fds) << AlgorithmName(algorithm);
+    }
+  }
+}
+
 TEST(ProfilerTest, AlgorithmNames) {
   EXPECT_STREQ(AlgorithmName(Algorithm::kMuds), "MUDS");
   EXPECT_STREQ(AlgorithmName(Algorithm::kHolisticFun), "HFUN");

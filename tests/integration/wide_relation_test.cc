@@ -80,15 +80,18 @@ TEST(WideRelationTest, RejectsMoreColumnsThanTheBitsetSupports) {
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST(WideRelationTest, PliCacheCapStillReturnsCorrectPlis) {
+TEST(WideRelationTest, PliCacheBudgetStillReturnsCorrectPlis) {
   Relation r = DeduplicateRows(RandomRelation(5, 8, 80, 3)).relation;
-  PliCache capped(r, /*max_entries=*/2);
-  PliCache uncapped(r);
+  // A one-byte budget forces every unpinned entry out immediately; only the
+  // pinned single-column PLIs (and ∅) survive, and results stay correct.
+  PliCache budgeted(r, /*budget_bytes=*/1);
+  PliCache unlimited(r, PliCache::kUnlimitedBudget);
   const ColumnSet probe = ColumnSet::FromIndices({0, 2, 4, 6});
-  EXPECT_EQ(capped.Get(probe)->DistinctCount(),
-            uncapped.Get(probe)->DistinctCount());
-  // The capped cache stored at most the always-kept entries plus two.
-  EXPECT_LE(capped.Size(), static_cast<size_t>(r.NumColumns()) + 1 + 2);
+  EXPECT_EQ(budgeted.Get(probe)->DistinctCount(),
+            unlimited.Get(probe)->DistinctCount());
+  // The budgeted cache holds only the pinned entries once the dust settles.
+  EXPECT_EQ(budgeted.Size(), static_cast<size_t>(r.NumColumns()) + 1);
+  EXPECT_GT(budgeted.GetStats().evictions, 0);
 }
 
 }  // namespace

@@ -25,7 +25,7 @@ TEST(PliCacheConcurrencyTest, ParallelConstructionMatchesSequential) {
   const Relation relation = TestRelation();
   ThreadPool pool(4);
   PliCache sequential(relation);
-  PliCache parallel(relation, PliCache::kDefaultMaxEntries, &pool);
+  PliCache parallel(relation, PliCache::kDefaultBudgetBytes, &pool);
   ASSERT_EQ(sequential.Size(), parallel.Size());
   for (int c = 0; c < relation.NumColumns(); ++c) {
     const auto a = sequential.Get(ColumnSet::Single(c));
@@ -38,7 +38,7 @@ TEST(PliCacheConcurrencyTest, ParallelConstructionMatchesSequential) {
 TEST(PliCacheConcurrencyTest, ConcurrentGetReturnsCanonicalEntry) {
   const Relation relation = TestRelation();
   ThreadPool pool(4);
-  PliCache cache(relation, PliCache::kDefaultMaxEntries, &pool);
+  PliCache cache(relation, PliCache::kDefaultBudgetBytes, &pool);
 
   // Many threads race to build overlapping multi-column sets; afterwards a
   // second look-up must hand back the exact pointer each thread received

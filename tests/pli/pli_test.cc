@@ -1,6 +1,9 @@
 #include "pli/position_list_index.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -96,6 +99,66 @@ TEST(PliTest, RefinesDetectsFds) {
   // The empty-set PLI refines only constant columns.
   Pli empty = Pli::ForEmptySet(r.NumRows());
   EXPECT_FALSE(empty.Refines(r.GetColumn(0)));
+}
+
+TEST(PliTest, FlatLayoutExposesClustersAsSpans) {
+  Relation r = SampleRelation();
+  Pli pli = Pli::FromColumn(r.GetColumn(0), r.NumRows());
+  ASSERT_EQ(pli.NumClusters(), 2);
+  // CSR invariants: offsets has NumClusters()+1 entries bracketing rows.
+  ASSERT_EQ(pli.offsets().size(), 3u);
+  EXPECT_EQ(pli.offsets().front(), 0u);
+  EXPECT_EQ(pli.offsets().back(), pli.rows().size());
+  // Clusters appear in code order with ascending rows: {0,1} then {2,3}.
+  const std::span<const RowId> first = pli.cluster(0);
+  const std::span<const RowId> second = pli.cluster(1);
+  EXPECT_EQ(std::vector<RowId>(first.begin(), first.end()),
+            (std::vector<RowId>{0, 1}));
+  EXPECT_EQ(std::vector<RowId>(second.begin(), second.end()),
+            (std::vector<RowId>{2, 3}));
+}
+
+TEST(PliTest, ForEmptySetListsAllRowsInOrder) {
+  Pli pli = Pli::ForEmptySet(4);
+  ASSERT_EQ(pli.NumClusters(), 1);
+  const std::span<const RowId> all = pli.cluster(0);
+  EXPECT_EQ(std::vector<RowId>(all.begin(), all.end()),
+            (std::vector<RowId>{0, 1, 2, 3}));
+}
+
+TEST(PliTest, MemoryBytesTracksStorage) {
+  Relation r = SampleRelation();
+  Pli pli = Pli::FromColumn(r.GetColumn(0), r.NumRows());
+  // At least the object itself plus the flat row and offset arrays.
+  EXPECT_GE(pli.MemoryBytes(),
+            sizeof(Pli) + pli.rows().size() * sizeof(RowId) +
+                pli.offsets().size() * sizeof(uint32_t));
+  // A unique PLI still reports the empty CSR skeleton.
+  Relation unique = Relation::FromRows({"K"}, {{"1"}, {"2"}, {"3"}});
+  Pli u = Pli::FromColumn(unique.GetColumn(0), unique.NumRows());
+  EXPECT_GE(u.MemoryBytes(), sizeof(Pli));
+}
+
+TEST(PliTest, RefinesAllMatchesRefinesPerColumn) {
+  Relation r = SampleRelation();
+  Pli a = Pli::FromColumn(r.GetColumn(0), r.NumRows());
+  std::vector<const Column*> columns = {&r.GetColumn(1), &r.GetColumn(2),
+                                        &r.GetColumn(0)};
+  std::vector<uint8_t> valid;
+  a.RefinesAll(columns, &valid);
+  ASSERT_EQ(valid.size(), columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    EXPECT_EQ(valid[i] != 0, a.Refines(*columns[i])) << "column " << i;
+  }
+  EXPECT_TRUE(valid[2]);  // A trivially refines itself.
+}
+
+TEST(PliTest, NestedClusterCompatConstructor) {
+  // The nested-vector constructor flattens into the same CSR layout.
+  Pli pli(std::vector<Pli::Cluster>{{0, 1}, {2, 3}}, 5);
+  EXPECT_EQ(pli.NumClusters(), 2);
+  EXPECT_EQ(pli.NumNonSingletonRows(), 4);
+  EXPECT_EQ(pli.DistinctCount(), 3);
 }
 
 TEST(PliTest, FillProbeTable) {

@@ -14,6 +14,10 @@
 //   --threads=N                           worker threads (0 = all hardware
 //                                         threads, default 1); results are
 //                                         identical for every thread count
+//   --pli-budget-mb=N                     PLI cache byte budget in MiB
+//                                         (0 = unlimited, default 1024);
+//                                         results are identical for every
+//                                         budget
 //   --json                                machine-readable JSON output
 //   --quiet                               only dependency counts
 //   --stats                               per-column statistics table
@@ -52,8 +56,8 @@ void PrintUsage(FILE* out) {
       "usage: muds_profile INPUT.csv [--algorithm=muds|hfun|baseline|auto]\n"
       "                    [--separator=C] [--no-header] [--max-rows=N]\n"
       "                    [--null-token=S] [--null-unequal] [--seed=N]\n"
-      "                    [--threads=N] [--json] [--quiet] [--stats]\n"
-      "                    [--soft-fds[=T]]\n");
+      "                    [--threads=N] [--pli-budget-mb=N] [--json]\n"
+      "                    [--quiet] [--stats] [--soft-fds[=T]]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -101,6 +105,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
         return false;
       }
       options->profile.num_threads = static_cast<int>(threads);
+    } else if (arg.rfind("--pli-budget-mb=", 0) == 0) {
+      char* end = nullptr;
+      const long mb = std::strtol(arg.c_str() + 16, &end, 10);
+      if (end == arg.c_str() + 16 || *end != '\0' || mb < 0) {
+        std::fprintf(stderr,
+                     "--pli-budget-mb expects a non-negative MiB count\n");
+        return false;
+      }
+      options->profile.pli_budget_bytes =
+          static_cast<size_t>(mb) << 20;  // 0 = unlimited.
     } else if (arg == "--json") {
       options->json = true;
     } else if (arg == "--quiet") {
