@@ -64,7 +64,12 @@ inline ProfilingResult RunAlgorithm(const std::string& csv_text,
 ///
 ///   {"bench": "fig6_rows", "results": [
 ///     {"name": "muds/rows=10000", "wall_ms": 12.3, "threads": 1,
-///      "counters": {"fd_checks": 456, ...}}, ...]}
+///      "counters": {"fd_checks": 456, ...},
+///      "metrics": {"pli_cache.hits": 789, ...}}, ...]}
+///
+/// The "metrics" object is the run's metrics-registry delta
+/// (ProfilingResult::metrics); rows added without a metrics snapshot emit
+/// an empty object.
 class JsonResultWriter {
  public:
   explicit JsonResultWriter(std::string bench_name)
@@ -76,7 +81,8 @@ class JsonResultWriter {
   ~JsonResultWriter() { Write(); }
 
   void Add(const std::string& name, double wall_ms, int threads,
-           const std::vector<std::pair<std::string, int64_t>>& counters) {
+           const std::vector<std::pair<std::string, int64_t>>& counters,
+           const std::vector<std::pair<std::string, int64_t>>& metrics = {}) {
     std::string row = "    {\"name\": \"" + name + "\"";
     char buffer[64];
     std::snprintf(buffer, sizeof(buffer), "%.3f", wall_ms);
@@ -85,27 +91,38 @@ class JsonResultWriter {
     std::snprintf(buffer, sizeof(buffer), "%d", threads);
     row += ", \"threads\": ";
     row += buffer;
-    row += ", \"counters\": {";
-    bool first = true;
-    for (const auto& [counter, value] : counters) {
-      if (!first) row += ", ";
-      first = false;
-      std::snprintf(buffer, sizeof(buffer), "%lld",
-                    static_cast<long long>(value));
-      row += "\"" + counter + "\": " + buffer;
-    }
-    row += "}}";
+    const auto append_map =
+        [&row, &buffer](
+            const char* key,
+            const std::vector<std::pair<std::string, int64_t>>& entries) {
+          row += ", \"";
+          row += key;
+          row += "\": {";
+          bool first = true;
+          for (const auto& [entry, value] : entries) {
+            if (!first) row += ", ";
+            first = false;
+            std::snprintf(buffer, sizeof(buffer), "%lld",
+                          static_cast<long long>(value));
+            row += "\"" + entry + "\": " + buffer;
+          }
+          row += '}';
+        };
+    append_map("counters", counters);
+    append_map("metrics", metrics);
+    row += '}';
     rows_.push_back(std::move(row));
   }
 
-  /// Convenience: one row straight from a profiling result.
+  /// Convenience: one row straight from a profiling result, registry
+  /// metrics included.
   void Add(const std::string& name, const ProfilingResult& result) {
     int threads = 1;
     for (const auto& [counter, value] : result.counters) {
       if (counter == "num_threads") threads = static_cast<int>(value);
     }
     Add(name, static_cast<double>(result.timings.TotalMicros()) / 1e3,
-        threads, result.counters);
+        threads, result.counters, result.metrics);
   }
 
   void Write() {

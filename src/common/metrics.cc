@@ -1,0 +1,68 @@
+#include "common/metrics.h"
+
+namespace muds {
+
+size_t Counter::CellIndex() {
+  static std::atomic<size_t> next_thread_id{0};
+  thread_local const size_t id =
+      next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id % kNumCells;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>(name);
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>(name);
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.reserve(counters_.size() + gauges_.size());
+  // std::map iteration is sorted; counters and gauges are merged by name so
+  // the combined snapshot stays sorted.
+  auto c = counters_.begin();
+  auto g = gauges_.begin();
+  while (c != counters_.end() || g != gauges_.end()) {
+    const bool take_counter =
+        g == gauges_.end() ||
+        (c != counters_.end() && c->first < g->first);
+    if (take_counter) {
+      snapshot.emplace_back(c->first, c->second->Value());
+      ++c;
+    } else {
+      snapshot.emplace_back(g->first, g->second->Value());
+      ++g;
+    }
+  }
+  return snapshot;
+}
+
+MetricsSnapshot MetricsRegistry::Delta(const MetricsSnapshot& before,
+                                       const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  delta.reserve(after.size());
+  auto b = before.begin();
+  for (const auto& [name, value] : after) {
+    while (b != before.end() && b->first < name) ++b;
+    const int64_t base =
+        (b != before.end() && b->first == name) ? b->second : 0;
+    delta.emplace_back(name, value - base);
+  }
+  return delta;
+}
+
+}  // namespace muds

@@ -1,0 +1,143 @@
+#ifndef MUDS_COMMON_METRICS_H_
+#define MUDS_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace muds {
+
+/// A sorted (by name) list of metric values — what MetricsRegistry::Snapshot
+/// returns and what reports/benches serialize.
+using MetricsSnapshot = std::vector<std::pair<std::string, int64_t>>;
+
+/// Process-wide monotonic counter with per-thread striping: Add() touches
+/// one cache-line-private atomic cell chosen by the calling thread, so
+/// concurrent increments from the pool workers never contend on one line.
+/// Value() sums the cells; it is exact once the incrementing threads have
+/// quiesced (joined or reached a barrier) and approximate while they run —
+/// the usual trade of a striped counter.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  /// Lock-free; safe from any thread. `delta` should be >= 0 (counters are
+  /// monotonic; use a Gauge for values that go down).
+  void Add(int64_t delta) {
+    cells_[CellIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Sum over all cells.
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  /// Enough stripes that a machine-sized pool rarely collides; each cell
+  /// occupies its own cache line.
+  static constexpr size_t kNumCells = 32;
+  struct alignas(64) Cell {
+    std::atomic<int64_t> value{0};
+  };
+
+  /// Dense per-thread id modulo kNumCells (assigned on each thread's first
+  /// metric touch; defined in metrics.cc).
+  static size_t CellIndex();
+
+  std::string name_;
+  std::array<Cell, kNumCells> cells_;
+};
+
+/// Last-write-wins instantaneous value (queue depth, bytes cached, ...).
+/// A single atomic: gauges are written at coarse points, not on hot paths.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Process-wide registry of named counters and gauges — the single substrate
+/// every subsystem (PLI cache, thread pool, SPIDER, DUCC, MUDS lattice
+/// phases) reports through. Handles returned by GetCounter/GetGauge are
+/// stable for the process lifetime, so call sites resolve a metric once and
+/// increment through the pointer on the hot path.
+///
+/// Thread safety: GetCounter/GetGauge/Snapshot may be called concurrently
+/// with each other and with Add/Set on any handle. Registration takes a
+/// mutex (it is rare); increments never do.
+class MetricsRegistry {
+ public:
+  /// The process-wide instance.
+  static MetricsRegistry& Global();
+
+  /// Returns the counter registered under `name`, creating it (at value 0)
+  /// on first use. Never returns null.
+  Counter* GetCounter(const std::string& name);
+
+  /// Returns the gauge registered under `name`, creating it on first use.
+  Gauge* GetGauge(const std::string& name);
+
+  /// Current value of every registered counter and gauge, sorted by name.
+  MetricsSnapshot Snapshot() const;
+
+  /// Per-name `after - before` for every name in `after` (names absent from
+  /// `before` are treated as 0 there). Zero deltas are kept: a registered
+  /// counter that did not move is still part of the report, which is what
+  /// the CI presence check relies on. Both inputs must be sorted by name
+  /// (Snapshot() output is).
+  static MetricsSnapshot Delta(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after);
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+};
+
+namespace metrics {
+
+/// Convenience for cold paths and end-of-phase flushes: one registry
+/// look-up plus an Add. Hot paths should cache the Counter* instead.
+inline void Add(const std::string& name, int64_t delta) {
+  MetricsRegistry::Global().GetCounter(name)->Add(delta);
+}
+
+inline void SetGauge(const std::string& name, int64_t value) {
+  MetricsRegistry::Global().GetGauge(name)->Set(value);
+}
+
+}  // namespace metrics
+
+}  // namespace muds
+
+#endif  // MUDS_COMMON_METRICS_H_

@@ -2,13 +2,47 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <utility>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace muds {
 
+namespace {
+
+// Registry handles shared by every pool instance. Resolved once; touched by
+// the constructor so thread_pool.* counters exist (at zero) even for runs
+// that never enqueue — single-threaded runs execute everything inline.
+struct PoolCounters {
+  Counter* tasks_executed;
+  Counter* task_wait_us;
+  Gauge* queue_depth;
+
+  static const PoolCounters& Get() {
+    static const PoolCounters counters = [] {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      PoolCounters c;
+      c.tasks_executed = registry.GetCounter("thread_pool.tasks_executed");
+      c.task_wait_us = registry.GetCounter("thread_pool.task_wait_us");
+      c.queue_depth = registry.GetGauge("thread_pool.queue_depth");
+      return c;
+    }();
+    return counters;
+  }
+};
+
+int64_t SteadyMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(int num_threads) {
+  PoolCounters::Get();  // Register the thread_pool.* metrics.
   MUDS_CHECK(num_threads >= 0);
   if (num_threads == 0) {
     num_threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -36,22 +70,33 @@ void ThreadPool::Enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     MUDS_CHECK_MSG(!stop_, "Submit after ThreadPool destruction began");
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), SteadyMicros()});
+    PoolCounters::Get().queue_depth->Set(
+        static_cast<int64_t>(queue_.size()));
   }
   cv_.notify_one();
 }
 
+void ThreadPool::NoteInlineTask() {
+  PoolCounters::Get().tasks_executed->Increment();
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to run.
       task = std::move(queue_.front());
       queue_.pop_front();
+      PoolCounters::Get().queue_depth->Set(
+          static_cast<int64_t>(queue_.size()));
     }
-    task();
+    const PoolCounters& counters = PoolCounters::Get();
+    counters.task_wait_us->Add(SteadyMicros() - task.enqueue_us);
+    counters.tasks_executed->Increment();
+    task.fn();
   }
 }
 

@@ -54,6 +54,7 @@ class ThreadPool {
     std::future<R> future = task->get_future();
     if (num_threads_ <= 1) {
       (*task)();
+      NoteInlineTask();
       return future;
     }
     Enqueue([task] { (*task)(); });
@@ -70,12 +71,21 @@ class ThreadPool {
                    const std::function<void(int64_t)>& body);
 
  private:
+  // A queued task remembers when it entered the queue so the pool can
+  // account the enqueue-to-start wait in thread_pool.task_wait_us.
+  struct QueuedTask {
+    std::function<void()> fn;
+    int64_t enqueue_us = 0;
+  };
+
   void Enqueue(std::function<void()> task);
   void WorkerLoop();
+  /// Counts a task that ran inline on the caller (single-threaded pool).
+  void NoteInlineTask();
 
   int num_threads_;
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

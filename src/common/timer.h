@@ -37,6 +37,13 @@ class Timer {
 
 /// Accumulates named phase durations; drives the Figure 8 experiment
 /// (per-phase breakdown of MUDS) and the ProfilingResult timings.
+///
+/// This is the aggregated *view* of the trace spans: phases are timed by
+/// TraceSpan / MUDS_TRACE_SPAN (common/trace.h), which adds each completed
+/// interval here and, when tracing is enabled, records the same interval as
+/// a TraceEvent. PhaseTimingsFromTrace() rebuilds this view from a span
+/// list. Not thread-safe — parallel phases time themselves inside the task
+/// and merge afterwards.
 class PhaseTimings {
  public:
   /// Adds `micros` to the phase named `name`, creating it on first use.
@@ -73,25 +80,6 @@ class PhaseTimings {
 
  private:
   std::vector<std::pair<std::string, int64_t>> entries_;
-};
-
-/// RAII helper: measures the lifetime of the scope and adds it to a
-/// PhaseTimings entry on destruction.
-class ScopedPhaseTimer {
- public:
-  ScopedPhaseTimer(PhaseTimings* timings, std::string name)
-      : timings_(timings), name_(std::move(name)) {}
-  ~ScopedPhaseTimer() {
-    if (timings_ != nullptr) timings_->Add(name_, timer_.ElapsedMicros());
-  }
-
-  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
-  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
-
- private:
-  PhaseTimings* timings_;
-  std::string name_;
-  Timer timer_;
 };
 
 }  // namespace muds

@@ -1,0 +1,210 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <limits>
+
+#include "common/json.h"
+
+namespace muds {
+
+namespace {
+
+int64_t RawMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Per-thread nesting order: outer spans (earlier begin, later end) first.
+bool NestingOrder(const TraceEvent& a, const TraceEvent& b) {
+  if (a.tid != b.tid) return a.tid < b.tid;
+  if (a.begin_us != b.begin_us) return a.begin_us < b.begin_us;
+  return a.end_us > b.end_us;
+}
+
+void AppendEventPrefix(const TraceEvent& event, char ph, std::string* out) {
+  *out += "{\"name\":";
+  *out += json::Quote(event.name);
+  *out += ",\"cat\":\"muds\",\"ph\":\"";
+  *out += ph;
+  *out += "\",\"pid\":1,\"tid\":";
+  *out += std::to_string(event.tid);
+  *out += ",\"ts\":";
+  *out += std::to_string(ph == 'B' ? event.begin_us : event.end_us);
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector() { epoch_us_.store(RawMicros()); }
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+int64_t TraceCollector::NowMicros() const {
+  return RawMicros() - epoch_us_.load(std::memory_order_relaxed);
+}
+
+void TraceCollector::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::shared_ptr<ThreadLog>& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    log->events.clear();
+  }
+  epoch_us_.store(RawMicros(), std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceCollector::Stop() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+TraceCollector::ThreadLog* TraceCollector::LocalLog() {
+  thread_local std::shared_ptr<ThreadLog> log = [this] {
+    auto created = std::make_shared<ThreadLog>();
+    std::lock_guard<std::mutex> lock(mutex_);
+    created->tid = next_tid_++;
+    logs_.push_back(created);
+    return created;
+  }();
+  return log.get();
+}
+
+void TraceCollector::Record(std::string name, int64_t begin_us, int64_t end_us,
+                            std::string args) {
+  ThreadLog* log = LocalLog();
+  TraceEvent event;
+  event.name = std::move(name);
+  event.args = std::move(args);
+  event.begin_us = begin_us;
+  event.end_us = end_us;
+  event.tid = log->tid;
+  std::lock_guard<std::mutex> lock(log->mutex);
+  log->events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceCollector::Events() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::shared_ptr<ThreadLog>& log : logs_) {
+      std::lock_guard<std::mutex> log_lock(log->mutex);
+      events.insert(events.end(), log->events.begin(), log->events.end());
+    }
+  }
+  std::stable_sort(events.begin(), events.end(), NestingOrder);
+  return events;
+}
+
+size_t TraceCollector::NumEvents() const {
+  size_t total = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::shared_ptr<ThreadLog>& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    total += log->events.size();
+  }
+  return total;
+}
+
+std::string TraceCollector::ToChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Events();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"muds\"}}";
+
+  // One named track per thread that recorded anything.
+  std::vector<uint32_t> tids;
+  for (const TraceEvent& event : events) {
+    if (tids.empty() || tids.back() != event.tid) tids.push_back(event.tid);
+  }
+  for (uint32_t tid : tids) {
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"args\":{\"name\":\"thread ";
+    out += std::to_string(tid);
+    out += "\"}}";
+  }
+
+  // Emit matched B/E pairs per thread. Spans on one thread nest (RAII), so
+  // a stack replay of the events in NestingOrder yields a sequence where
+  // every B is closed by its own E in stack order — what trace viewers
+  // expect even when zero-duration spans tie on timestamps.
+  std::vector<const TraceEvent*> stack;
+  uint32_t stack_tid = 0;
+  const auto emit_entry = [&out](const TraceEvent& event, char ph) {
+    out += ",\n";
+    AppendEventPrefix(event, ph, &out);
+    if (ph == 'B' && !event.args.empty()) {
+      out += ",\"args\":";
+      out += event.args;
+    }
+    out += '}';
+  };
+  const auto close_until = [&](int64_t begin_us) {
+    while (!stack.empty() && stack.back()->end_us <= begin_us) {
+      emit_entry(*stack.back(), 'E');
+      stack.pop_back();
+    }
+  };
+  for (const TraceEvent& event : events) {
+    if (!stack.empty() && stack_tid != event.tid) {
+      close_until(std::numeric_limits<int64_t>::max());
+    }
+    stack_tid = event.tid;
+    close_until(event.begin_us);
+    emit_entry(event, 'B');
+    stack.push_back(&event);
+  }
+  close_until(std::numeric_limits<int64_t>::max());
+
+  out += "\n]}\n";
+  return out;
+}
+
+Status TraceCollector::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot create " + path);
+  out << ToChromeTraceJson();
+  if (!out) return Status::IoError("error writing " + path);
+  return Status::Ok();
+}
+
+TraceSpan::TraceSpan(PhaseTimings* timings, std::string name, std::string args)
+    : timings_(timings),
+      name_(std::move(name)),
+      args_(std::move(args)),
+      recording_(TraceCollector::Global().enabled()) {
+  if (recording_) begin_us_ = TraceCollector::Global().NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (timings_ != nullptr) timings_->Add(name_, timer_.ElapsedMicros());
+  if (recording_) {
+    TraceCollector& collector = TraceCollector::Global();
+    if (collector.enabled()) {
+      collector.Record(std::move(name_), begin_us_, collector.NowMicros(),
+                       std::move(args_));
+    }
+  }
+}
+
+PhaseTimings PhaseTimingsFromTrace(const std::vector<TraceEvent>& events) {
+  std::vector<const TraceEvent*> by_begin;
+  by_begin.reserve(events.size());
+  for (const TraceEvent& event : events) by_begin.push_back(&event);
+  std::stable_sort(by_begin.begin(), by_begin.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     return a->begin_us < b->begin_us;
+                   });
+  PhaseTimings timings;
+  for (const TraceEvent* event : by_begin) {
+    timings.Add(event->name, event->end_us - event->begin_us);
+  }
+  return timings;
+}
+
+}  // namespace muds

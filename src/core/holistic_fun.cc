@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "fd/fun.h"
 #include "ind/spider.h"
 #include "pli/pli_cache.h"
@@ -22,13 +23,16 @@ HolisticResult HolisticFun::Run(const Relation& relation, int num_threads) {
     result.timings.Add("SPIDER", 0);
     std::future<std::pair<std::vector<Ind>, int64_t>> inds =
         pool.Submit([&relation] {
+          // Trace-only span: PhaseTimings is not thread-safe, so the task
+          // measures its own time and the caller merges it below.
+          MUDS_TRACE_SPAN("SPIDER");
           Timer timer;
           std::vector<Ind> discovered = Spider::Discover(relation);
           return std::make_pair(std::move(discovered),
                                 timer.ElapsedMicros());
         });
     {
-      ScopedPhaseTimer timer(&result.timings, "FUN");
+      MUDS_TRACE_SPAN(&result.timings, "FUN");
       FdDiscoveryResult fd_result = Fun::Discover(relation);
       result.fds = std::move(fd_result.fds);
       result.uccs = std::move(fd_result.uccs);
@@ -41,11 +45,11 @@ HolisticResult HolisticFun::Run(const Relation& relation, int num_threads) {
     return result;
   }
   {
-    ScopedPhaseTimer timer(&result.timings, "SPIDER");
+    MUDS_TRACE_SPAN(&result.timings, "SPIDER");
     result.inds = Spider::Discover(relation);
   }
   {
-    ScopedPhaseTimer timer(&result.timings, "FUN");
+    MUDS_TRACE_SPAN(&result.timings, "FUN");
     FdDiscoveryResult fd_result = Fun::Discover(relation);
     result.fds = std::move(fd_result.fds);
     result.uccs = std::move(fd_result.uccs);
@@ -61,11 +65,11 @@ HolisticResult Baseline::Run(const Relation& relation, uint64_t seed,
   ThreadPool pool(num_threads);
   result.num_threads_used = pool.NumThreads();
   {
-    ScopedPhaseTimer timer(&result.timings, "SPIDER");
+    MUDS_TRACE_SPAN(&result.timings, "SPIDER");
     result.inds = Spider::Discover(relation);
   }
   {
-    ScopedPhaseTimer timer(&result.timings, "DUCC");
+    MUDS_TRACE_SPAN(&result.timings, "DUCC");
     // DUCC builds its own PLIs: no sharing in the baseline.
     PliCache cache(relation, pli_budget_bytes, &pool);
     Ducc::Options options;
@@ -78,7 +82,7 @@ HolisticResult Baseline::Run(const Relation& relation, uint64_t seed,
     result.pli_cache_evictions = stats.evictions;
   }
   {
-    ScopedPhaseTimer timer(&result.timings, "FUN");
+    MUDS_TRACE_SPAN(&result.timings, "FUN");
     FdDiscoveryResult fd_result = Fun::Discover(relation);
     result.fds = std::move(fd_result.fds);
     result.fd_checks = fd_result.fd_checks;

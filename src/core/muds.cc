@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "fd/fd_util.h"
 #include "ind/spider.h"
 #include "pli/pli_cache.h"
@@ -156,6 +158,49 @@ class FdStore {
   std::map<int, MinimalSetCollection> minimal_;
 };
 
+// Registry handles for MUDS' hot counters, resolved once per process. The
+// per-run MudsStats fields stay the exact per-run record; these feed the
+// process-wide registry the observability layer reports through.
+struct MudsCounters {
+  Counter* fd_checks;
+  Counter* refines_all_batches;
+  Counter* refines_all_candidates;
+  Counter* rz_nodes_visited;
+  Counter* rz_walk_steps;
+  Counter* completion_nodes_visited;
+  Counter* completion_walk_steps;
+  Counter* shadowed_tasks;
+  Counter* connector_lookups;
+  Counter* parallel_tasks;
+
+  static const MudsCounters& Get() {
+    static const MudsCounters counters = [] {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      MudsCounters c;
+      c.fd_checks = registry.GetCounter("muds.fd_checks");
+      c.refines_all_batches = registry.GetCounter("muds.refines_all.batches");
+      c.refines_all_candidates =
+          registry.GetCounter("muds.refines_all.candidates");
+      c.rz_nodes_visited = registry.GetCounter("muds.rz.nodes_visited");
+      c.rz_walk_steps = registry.GetCounter("muds.rz.walk_steps");
+      c.completion_nodes_visited =
+          registry.GetCounter("muds.completion.nodes_visited");
+      c.completion_walk_steps =
+          registry.GetCounter("muds.completion.walk_steps");
+      c.shadowed_tasks = registry.GetCounter("muds.shadowed_tasks");
+      c.connector_lookups = registry.GetCounter("muds.connector_lookups");
+      c.parallel_tasks = registry.GetCounter("muds.parallel_tasks");
+      return c;
+    }();
+    return counters;
+  }
+};
+
+// Pre-rendered span args for a per-right-hand-side traversal task.
+std::string RhsArgs(int rhs) {
+  return "{\"rhs\":" + std::to_string(rhs) + "}";
+}
+
 struct PairHash {
   size_t operator()(const std::pair<ColumnSet, ColumnSet>& p) const {
     return p.first.Hash() * 1000003 + p.second.Hash();
@@ -236,6 +281,11 @@ class MudsRunner {
         batch_indices_.push_back(a);
       }
       *counter += static_cast<int64_t>(batch_indices_.size());
+      const MudsCounters& counters = MudsCounters::Get();
+      counters.fd_checks->Add(static_cast<int64_t>(batch_indices_.size()));
+      counters.refines_all_batches->Increment();
+      counters.refines_all_candidates->Add(
+          static_cast<int64_t>(batch_indices_.size()));
       pli->RefinesAll(batch_columns_, &batch_valid_);
       for (size_t i = 0; i < batch_indices_.size(); ++i) {
         if (batch_valid_[i]) knowledge.valid.Add(batch_indices_[i]);
@@ -266,6 +316,7 @@ class MudsRunner {
   // Memoized connector look-up (§5.1, Table 2).
   ColumnSet LookupConnector(const ColumnSet& connector) {
     ++result_.stats.connector_lookups;
+    MudsCounters::Get().connector_lookups->Increment();
     auto it = connector_memo_.find(connector);
     if (it != connector_memo_.end()) return it->second;
     const ColumnSet result = ucc_store_->Lookup(connector);
@@ -302,6 +353,7 @@ class MudsRunner {
     RhsKnowledge& local = state->memo[lhs];
     if (local.checked.Contains(rhs)) return local.valid.Contains(rhs);
     ++state->checks;
+    MudsCounters::Get().fd_checks->Increment();
     const bool holds = cache_->Get(lhs)->Refines(relation_.GetColumn(rhs));
     local.checked.Add(rhs);
     if (holds) local.valid.Add(rhs);
@@ -374,11 +426,11 @@ MudsResult MudsRunner::Run() {
       result_.timings.Add(phase, 0);
     }
     {
-      ScopedPhaseTimer timer(&result_.timings, "minimizeFDs");
+      MUDS_TRACE_SPAN(&result_.timings, "minimizeFDs");
       MinimizeFdsFromUccs();
     }
     {
-      ScopedPhaseTimer timer(&result_.timings, "calculateRZ");
+      MUDS_TRACE_SPAN(&result_.timings, "calculateRZ");
       CalculateRz();
     }
     if (options_.run_paper_shadowed_phase ||
@@ -386,7 +438,7 @@ MudsResult MudsRunner::Run() {
       DiscoverShadowedFds();
     }
     if (options_.completion == MudsOptions::Completion::kExhaustive) {
-      ScopedPhaseTimer timer(&result_.timings, "exhaustiveCompletion");
+      MUDS_TRACE_SPAN(&result_.timings, "exhaustiveCompletion");
       ExhaustiveCompletion();
     }
   }
@@ -406,7 +458,7 @@ MudsResult MudsRunner::Run() {
 }
 
 void MudsRunner::RunSpider() {
-  ScopedPhaseTimer timer(&result_.timings, "SPIDER");
+  MUDS_TRACE_SPAN(&result_.timings, "SPIDER");
   // The paper builds the PLIs in the same pass that feeds SPIDER (§5);
   // constructing the cache here mirrors that shared scan. SPIDER and the
   // PLI build read disjoint state, so with a parallel pool SPIDER runs on a
@@ -424,7 +476,7 @@ void MudsRunner::RunSpider() {
 }
 
 void MudsRunner::RunDucc() {
-  ScopedPhaseTimer timer(&result_.timings, "DUCC");
+  MUDS_TRACE_SPAN(&result_.timings, "DUCC");
   Ducc::Options ducc_options;
   ducc_options.seed = options_.seed;
   uccs_ = Ducc::Discover(relation_, &*cache_, ducc_options,
@@ -468,8 +520,10 @@ void MudsRunner::MinimizeFdsFromUccs() {
 
 void MudsRunner::CalculateRz() {
   const ColumnSet rz = active_.Difference(z_);
+  const MudsCounters& counters = MudsCounters::Get();
   if (pool_->NumThreads() <= 1) {
     for (int a = rz.First(); a >= 0; a = rz.NextAtLeast(a + 1)) {
+      MUDS_TRACE_SPAN("rzTraversal", RhsArgs(a));
       LatticeTraversal::Options traversal_options;
       traversal_options.seed =
           options_.seed * 7919 + static_cast<uint64_t>(a);
@@ -483,6 +537,8 @@ void MudsRunner::CalculateRz() {
           },
           traversal_options);
       for (const ColumnSet& lhs : traversal.Run()) fd_store_.Add(lhs, a);
+      counters.rz_nodes_visited->Add(traversal.stats().predicate_calls);
+      counters.rz_walk_steps->Add(traversal.stats().walk_steps);
     }
     return;
   }
@@ -496,8 +552,10 @@ void MudsRunner::CalculateRz() {
   std::vector<std::vector<ColumnSet>> found(targets.size());
   std::vector<TaskCheckState> states(targets.size());
   result_.stats.parallel_tasks += static_cast<int64_t>(targets.size());
+  counters.parallel_tasks->Add(static_cast<int64_t>(targets.size()));
   pool_->ParallelFor(0, static_cast<int64_t>(targets.size()), [&](int64_t i) {
     const int a = targets[static_cast<size_t>(i)];
+    MUDS_TRACE_SPAN("rzTraversal", RhsArgs(a));
     LatticeTraversal::Options traversal_options;
     traversal_options.seed = options_.seed * 7919 + static_cast<uint64_t>(a);
     traversal_options.known_positive = uccs_;
@@ -509,6 +567,8 @@ void MudsRunner::CalculateRz() {
         },
         traversal_options);
     found[static_cast<size_t>(i)] = traversal.Run();
+    counters.rz_nodes_visited->Add(traversal.stats().predicate_calls);
+    counters.rz_walk_steps->Add(traversal.stats().walk_steps);
   });
   for (size_t i = 0; i < targets.size(); ++i) {
     for (const ColumnSet& lhs : found[i]) fd_store_.Add(lhs, targets[i]);
@@ -602,7 +662,7 @@ void MudsRunner::DiscoverShadowedFds() {
     TaskLevels tasks;
     bool generated = false;
     {
-      ScopedPhaseTimer timer(&result_.timings, "generateShadowedTasks");
+      MUDS_TRACE_SPAN(&result_.timings, "generateShadowedTasks");
       // Snapshot: Algorithm 2 iterates the FDs discovered so far. Many
       // entries extend to the same shadowed left-hand side, so the
       // candidate right-hand sides are merged per distinct newLhs before
@@ -650,6 +710,7 @@ void MudsRunner::DiscoverShadowedFds() {
           if (valid.Empty()) continue;
           tasks.Add(ColumnSet(), reduced, valid);
           ++result_.stats.shadowed_tasks;
+          MudsCounters::Get().shadowed_tasks->Increment();
           generated = true;
         }
       }
@@ -657,7 +718,7 @@ void MudsRunner::DiscoverShadowedFds() {
     if (!generated) break;
     bool found_new;
     {
-      ScopedPhaseTimer timer(&result_.timings, "minimizeShadowedTasks");
+      MUDS_TRACE_SPAN(&result_.timings, "minimizeShadowedTasks");
       found_new =
           MinimizeTasks(&tasks, &result_.stats.fd_checks_shadowed);
     }
@@ -682,8 +743,10 @@ void MudsRunner::ExhaustiveCompletion() {
     }
   }
 
+  const MudsCounters& counters = MudsCounters::Get();
   if (pool_->NumThreads() <= 1) {
     for (int a = z_.First(); a >= 0; a = z_.NextAtLeast(a + 1)) {
+      MUDS_TRACE_SPAN("completionTraversal", RhsArgs(a));
       LatticeTraversal::Options traversal_options;
       traversal_options.seed =
           options_.seed * 104729 + static_cast<uint64_t>(a);
@@ -703,6 +766,9 @@ void MudsRunner::ExhaustiveCompletion() {
           },
           traversal_options);
       fd_store_.ReplaceMinimal(a, traversal.Run());
+      counters.completion_nodes_visited->Add(
+          traversal.stats().predicate_calls);
+      counters.completion_walk_steps->Add(traversal.stats().walk_steps);
     }
     return;
   }
@@ -732,8 +798,10 @@ void MudsRunner::ExhaustiveCompletion() {
   std::vector<std::vector<ColumnSet>> minimal(targets.size());
   std::vector<TaskCheckState> states(targets.size());
   result_.stats.parallel_tasks += static_cast<int64_t>(targets.size());
+  counters.parallel_tasks->Add(static_cast<int64_t>(targets.size()));
   pool_->ParallelFor(0, static_cast<int64_t>(targets.size()), [&](int64_t i) {
     const int a = targets[static_cast<size_t>(i)];
+    MUDS_TRACE_SPAN("completionTraversal", RhsArgs(a));
     TaskCheckState* state = &states[static_cast<size_t>(i)];
     LatticeTraversal traversal(
         active_.Without(a),
@@ -742,6 +810,9 @@ void MudsRunner::ExhaustiveCompletion() {
         },
         std::move(per_rhs_options[static_cast<size_t>(i)]));
     minimal[static_cast<size_t>(i)] = traversal.Run();
+    counters.completion_nodes_visited->Add(
+        traversal.stats().predicate_calls);
+    counters.completion_walk_steps->Add(traversal.stats().walk_steps);
   });
   for (size_t i = 0; i < targets.size(); ++i) {
     fd_store_.ReplaceMinimal(targets[i], minimal[i]);

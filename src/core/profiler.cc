@@ -3,7 +3,9 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/holistic_fun.h"
 #include "data/preprocess.h"
 #include "pli/pli_cache.h"
@@ -29,14 +31,15 @@ Algorithm ChooseAutomatically(const Relation& relation,
                ? Algorithm::kMuds
                : Algorithm::kHolisticFun;
   }
-  Timer timer;
-  ThreadPool pool(options.num_threads);
-  PliCache cache(relation, options.pli_budget_bytes, &pool);
-  Ducc::Options ducc_options;
-  ducc_options.seed = options.seed;
-  const std::vector<ColumnSet> uccs =
-      Ducc::Discover(relation, &cache, ducc_options);
-  timings->Add("autoSelect", timer.ElapsedMicros());
+  std::vector<ColumnSet> uccs;
+  {
+    MUDS_TRACE_SPAN(timings, "autoSelect");
+    ThreadPool pool(options.num_threads);
+    PliCache cache(relation, options.pli_budget_bytes, &pool);
+    Ducc::Options ducc_options;
+    ducc_options.seed = options.seed;
+    uccs = Ducc::Discover(relation, &cache, ducc_options);
+  }
 
   int64_t total_size = 0;
   ColumnSet z;
@@ -146,13 +149,19 @@ const char* AlgorithmName(Algorithm algorithm) {
 
 ProfilingResult ProfileRelation(const Relation& relation,
                                 const ProfileOptions& options) {
-  Timer dedup_timer;
-  DeduplicateResult deduped = DeduplicateRows(relation);
-  const int64_t dedup_micros = dedup_timer.ElapsedMicros();
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+
+  PhaseTimings dedup_timings;
+  DeduplicateResult deduped = [&] {
+    MUDS_TRACE_SPAN(&dedup_timings, "dedup");
+    return DeduplicateRows(relation);
+  }();
 
   ProfilingResult result = RunOnDeduped(deduped.relation, options);
-  result.timings.Add("dedup", dedup_micros);
+  MergeTimings(dedup_timings, &result.timings);
   result.duplicates_removed = deduped.duplicates_removed;
+  result.metrics = MetricsRegistry::Delta(
+      before, MetricsRegistry::Global().Snapshot());
   return result;
 }
 
@@ -164,6 +173,7 @@ Result<ProfilingResult> ProfileCsvString(std::string_view text,
   int64_t load_micros = 0;
   std::optional<Relation> relation;
   for (int i = 0; i < num_reads; ++i) {
+    MUDS_TRACE_SPAN("load");
     Timer load_timer;
     Result<Relation> parsed = CsvReader::ReadString(text, options.csv);
     if (!parsed.ok()) return parsed.status();
@@ -182,6 +192,7 @@ Result<ProfilingResult> ProfileCsvFile(const std::string& path,
   int64_t load_micros = 0;
   std::optional<Relation> relation;
   for (int i = 0; i < num_reads; ++i) {
+    MUDS_TRACE_SPAN("load");
     Timer load_timer;
     Result<Relation> parsed = CsvReader::ReadFile(path, options.csv);
     if (!parsed.ok()) return parsed.status();

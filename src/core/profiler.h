@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/timer.h"
 #include "core/muds.h"
@@ -89,6 +90,12 @@ struct ProfilingResult {
 
   /// Work counters ("fd_checks", "pli_intersects", ...).
   std::vector<std::pair<std::string, int64_t>> counters;
+
+  /// Delta of the process-wide metrics registry (common/metrics.h) over
+  /// this profiling run: every registered counter/gauge, sorted by name.
+  /// Names a metric even when its delta is zero, so consumers can rely on
+  /// the full instrument set being present.
+  MetricsSnapshot metrics;
 
   /// Duplicate rows dropped by preprocessing (§3).
   int64_t duplicates_removed = 0;

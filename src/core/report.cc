@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/json.h"
+
 namespace muds {
 
 namespace {
@@ -19,40 +21,19 @@ std::string ColumnList(const ColumnSet& set,
   return out;
 }
 
+void AppendMetricsSection(const ProfilingResult& result, std::string* out) {
+  *out += "\nmetrics:\n";
+  char line[256];
+  for (const auto& [metric, value] : result.metrics) {
+    std::snprintf(line, sizeof(line), "  %-32s %12lld\n", metric.c_str(),
+                  static_cast<long long>(value));
+    *out += line;
+  }
+}
+
 }  // namespace
 
-std::string JsonQuote(const std::string& value) {
-  std::string out = "\"";
-  for (char c : value) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
+std::string JsonQuote(const std::string& value) { return json::Quote(value); }
 
 std::string ProfilingResultToJson(const ProfilingResult& result) {
   const auto& names = result.column_names;
@@ -94,6 +75,13 @@ std::string ProfilingResultToJson(const ProfilingResult& result) {
     out += "\n    " + JsonQuote(counter) + ": " + std::to_string(value);
     first = false;
   }
+  out += "\n  },\n  \"metrics\": {";
+  first = true;
+  for (const auto& [metric, value] : result.metrics) {
+    if (!first) out += ',';
+    out += "\n    " + JsonQuote(metric) + ": " + std::to_string(value);
+    first = false;
+  }
   out += "\n  },\n  \"timings_us\": {";
   first = true;
   for (const auto& [phase, micros] : result.timings.entries()) {
@@ -106,7 +94,7 @@ std::string ProfilingResultToJson(const ProfilingResult& result) {
 }
 
 std::string ProfilingResultToText(const ProfilingResult& result,
-                                  bool summary_only) {
+                                  bool summary_only, bool show_metrics) {
   const auto& names = result.column_names;
   std::string out;
   char line[256];
@@ -123,7 +111,10 @@ std::string ProfilingResultToText(const ProfilingResult& result,
                 result.inds.size(), result.uccs.size(), result.fds.size(),
                 result.TotalSeconds());
   out += line;
-  if (summary_only) return out;
+  if (summary_only) {
+    if (show_metrics) AppendMetricsSection(result, &out);
+    return out;
+  }
 
   out += "\nunary inclusion dependencies:\n";
   for (const Ind& ind : result.inds) {
@@ -143,6 +134,7 @@ std::string ProfilingResultToText(const ProfilingResult& result,
                   static_cast<double>(micros) / 1e3);
     out += line;
   }
+  if (show_metrics) AppendMetricsSection(result, &out);
   return out;
 }
 

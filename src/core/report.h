@@ -8,14 +8,17 @@
 namespace muds {
 
 /// Serializes a profiling result as JSON: algorithm, column names,
-/// dependencies (with column *names*, not indices), and per-phase timings.
+/// dependencies (with column *names*, not indices), per-phase timings, and
+/// the registry metrics delta of the run ("metrics" object, always present).
 /// Stable field order; safe escaping for arbitrary cell/column content.
 std::string ProfilingResultToJson(const ProfilingResult& result);
 
 /// Renders the human-readable report the CLI prints: header counts plus —
 /// unless `summary_only` — every dependency and the phase timings.
+/// `show_metrics` appends the registry metrics delta (CLI --metrics).
 std::string ProfilingResultToText(const ProfilingResult& result,
-                                  bool summary_only = false);
+                                  bool summary_only = false,
+                                  bool show_metrics = false);
 
 /// Escapes a string for embedding in JSON (quotes included).
 std::string JsonQuote(const std::string& value);

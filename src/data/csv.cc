@@ -17,16 +17,17 @@ class RecordScanner {
       : text_(text), options_(options) {}
 
   // Reads the next record into `fields`. Returns false at end of input.
-  // On a malformed record (unterminated quote) sets `error`.
+  // Fully-empty records (a line break with no field content, separator, or
+  // quote before it — outside quotes) are blank lines, not one-empty-field
+  // records: they are skipped, wherever they appear. On a malformed record
+  // (unterminated quote) sets `error`.
   bool NextRecord(std::vector<std::string>* fields, Status* error) {
     fields->clear();
-    if (pos_ >= text_.size()) return false;
     std::string field;
     bool in_quotes = false;
-    bool saw_any = false;
+    bool saw_content = false;
     while (pos_ < text_.size()) {
       const char c = text_[pos_];
-      saw_any = true;
       if (in_quotes) {
         if (c == options_.quote) {
           if (pos_ + 1 < text_.size() && text_[pos_ + 1] == options_.quote) {
@@ -44,10 +45,12 @@ class RecordScanner {
       }
       if (c == options_.quote && field.empty()) {
         in_quotes = true;
+        saw_content = true;
         ++pos_;
       } else if (c == options_.separator) {
         fields->push_back(std::move(field));
         field.clear();
+        saw_content = true;
         ++pos_;
       } else if (c == '\n' || c == '\r') {
         // Consume the line break ("\r\n" counts as one).
@@ -55,11 +58,13 @@ class RecordScanner {
           ++pos_;
         }
         ++pos_;
+        if (!saw_content) continue;  // Blank line: skip, keep scanning.
         fields->push_back(std::move(field));
         ++record_number_;
         return true;
       } else {
         field += c;
+        saw_content = true;
         ++pos_;
       }
     }
@@ -68,7 +73,7 @@ class RecordScanner {
                                   std::to_string(record_number_ + 1));
       return false;
     }
-    if (saw_any) {
+    if (saw_content) {
       fields->push_back(std::move(field));
       ++record_number_;
       return true;
@@ -95,9 +100,12 @@ bool NeedsQuoting(const std::string& value, const CsvOptions& options) {
   return false;
 }
 
+// `force_quote` quotes even when the content would not demand it — used for
+// an empty field that is the only field of its record, which unquoted would
+// serialize as a blank line and be skipped on re-read.
 void AppendField(const std::string& value, const CsvOptions& options,
-                 std::string* out) {
-  if (!NeedsQuoting(value, options)) {
+                 std::string* out, bool force_quote = false) {
+  if (!force_quote && !NeedsQuoting(value, options)) {
     *out += value;
     return;
   }
@@ -142,8 +150,10 @@ Result<Relation> CsvReader::ReadString(std::string_view text,
   std::optional<RelationBuilder> storage;
   int64_t rows_read = 0;
   while (scanner.NextRecord(&fields, &error)) {
-    if (options.max_rows >= 0 && rows_read >= options.max_rows) break;
     if (builder == nullptr) {
+      // Create the builder before honoring max_rows: the first record
+      // defines the schema even when no data row survives the cap (e.g.
+      // --no-header --max-rows=0 still yields a 0-row relation).
       if (!options.has_header) {
         column_names.reserve(fields.size());
         for (size_t i = 0; i < fields.size(); ++i) {
@@ -158,15 +168,17 @@ Result<Relation> CsvReader::ReadString(std::string_view text,
       storage.emplace(column_names, name);
       builder = &*storage;
       if (!options.has_header) {
+        if (options.max_rows >= 0 && rows_read >= options.max_rows) break;
         apply_nulls(&fields);
         builder->AddRow(fields);
         ++rows_read;
         continue;
       }
     }
+    if (options.max_rows >= 0 && rows_read >= options.max_rows) break;
     if (fields.size() != column_names.size()) {
       return Status::ParseError(
-          "record " + std::to_string(scanner.record_number()) + " has " +
+          name + ": data row " + std::to_string(rows_read + 1) + " has " +
           std::to_string(fields.size()) + " fields, expected " +
           std::to_string(column_names.size()));
     }
@@ -203,15 +215,18 @@ Result<Relation> CsvReader::ReadFile(const std::string& path,
 std::string CsvWriter::ToString(const Relation& relation,
                                 const CsvOptions& options) {
   std::string out;
+  const bool single_column = relation.NumColumns() == 1;
   for (int c = 0; c < relation.NumColumns(); ++c) {
     if (c > 0) out += options.separator;
-    AppendField(relation.ColumnName(c), options, &out);
+    AppendField(relation.ColumnName(c), options, &out,
+                single_column && relation.ColumnName(c).empty());
   }
   out += '\n';
   for (RowId row = 0; row < relation.NumRows(); ++row) {
     for (int c = 0; c < relation.NumColumns(); ++c) {
       if (c > 0) out += options.separator;
-      AppendField(relation.Value(row, c), options, &out);
+      AppendField(relation.Value(row, c), options, &out,
+                  single_column && relation.Value(row, c).empty());
     }
     out += '\n';
   }

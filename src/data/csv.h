@@ -39,8 +39,10 @@ struct CsvOptions {
 };
 
 /// Parses RFC-4180-style CSV: quoted fields may contain separators,
-/// newlines, and doubled quotes. Every record must have the same arity as
-/// the header; a mismatch is a ParseError naming the record number.
+/// newlines, and doubled quotes. Fully-blank lines (outside quotes) are
+/// skipped, wherever they appear. Every record must have the same arity as
+/// the header; a mismatch is a ParseError naming the input and the 1-based
+/// data-row number (the header is not counted).
 class CsvReader {
  public:
   /// Parses an in-memory CSV document.

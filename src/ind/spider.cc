@@ -1,11 +1,16 @@
 #include "ind/spider.h"
 
+#include <cstdint>
 #include <queue>
 #include <string_view>
+
+#include "common/metrics.h"
 
 namespace muds {
 
 std::vector<Ind> Spider::Discover(const Relation& relation) {
+  int64_t cursor_advances = 0;
+  int64_t value_groups = 0;
   const int n = relation.NumColumns();
   std::vector<ColumnSet> candidates(static_cast<size_t>(n),
                                     ColumnSet::FirstN(n));
@@ -31,6 +36,7 @@ std::vector<Ind> Spider::Discover(const Relation& relation) {
   while (!heap.empty()) {
     // Collect the group of attributes that all contain the smallest value.
     const std::string_view value = heap.top().value;
+    ++value_groups;
     ColumnSet group;
     while (!heap.empty() && heap.top().value == value) {
       group.Add(heap.top().column);
@@ -41,11 +47,14 @@ std::vector<Ind> Spider::Discover(const Relation& relation) {
       candidates[static_cast<size_t>(c)] =
           candidates[static_cast<size_t>(c)].Intersect(group);
       const auto& dict = relation.GetColumn(c).dictionary;
+      ++cursor_advances;
       if (++position[static_cast<size_t>(c)] < dict.size()) {
         heap.push(Cursor{dict[position[static_cast<size_t>(c)]], c});
       }
     }
   }
+  metrics::Add("spider.cursor_advances", cursor_advances);
+  metrics::Add("spider.value_groups", value_groups);
 
   std::vector<Ind> inds;
   for (int a = 0; a < n; ++a) {

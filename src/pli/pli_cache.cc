@@ -4,12 +4,45 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace muds {
+
+namespace {
+
+// Process-wide registry handles, shared by every cache instance (multiple
+// caches can coexist: MUDS' shared cache, the baseline's private DUCC
+// cache). Resolved once; eagerly touched by the constructor so the metrics
+// report always lists the pli_cache.* family, even for runs that never
+// probe.
+struct CacheCounters {
+  Counter* hits;
+  Counter* misses;
+  Counter* evictions;
+  Counter* intersects;
+  Gauge* bytes_cached;
+
+  static const CacheCounters& Get() {
+    static const CacheCounters counters = [] {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      CacheCounters c;
+      c.hits = registry.GetCounter("pli_cache.hits");
+      c.misses = registry.GetCounter("pli_cache.misses");
+      c.evictions = registry.GetCounter("pli_cache.evictions");
+      c.intersects = registry.GetCounter("pli_cache.intersects");
+      c.bytes_cached = registry.GetGauge("pli_cache.bytes_cached");
+      return c;
+    }();
+    return counters;
+  }
+};
+
+}  // namespace
 
 PliCache::PliCache(const Relation& relation, size_t budget_bytes,
                    ThreadPool* pool)
     : relation_(&relation), budget_bytes_(budget_bytes) {
+  CacheCounters::Get();  // Register the pli_cache.* metrics.
   const int n = relation.NumColumns();
   std::vector<std::shared_ptr<const Pli>> singles(static_cast<size_t>(n));
   const auto build = [&](int64_t c) {
@@ -58,6 +91,9 @@ void PliCache::EvictFromShard(Shard* shard) {
     bytes_cached_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
     num_cached_.fetch_sub(1, std::memory_order_release);
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    const CacheCounters& counters = CacheCounters::Get();
+    counters.evictions->Increment();
+    counters.bytes_cached->Add(-static_cast<int64_t>(it->second.bytes));
     shard->map.erase(it);
   }
 }
@@ -76,6 +112,8 @@ std::shared_ptr<const Pli> PliCache::Insert(const ColumnSet& columns,
   shard.map.emplace(columns, std::move(entry));
   if (!pinned) shard.clock.push_back(columns);
   bytes_cached_.fetch_add(pli->MemoryBytes(), std::memory_order_relaxed);
+  CacheCounters::Get().bytes_cached->Add(
+      static_cast<int64_t>(pli->MemoryBytes()));
   num_cached_.fetch_add(1, std::memory_order_release);
   if (!pinned) EvictFromShard(&shard);
   return pli;
@@ -84,9 +122,11 @@ std::shared_ptr<const Pli> PliCache::Insert(const ColumnSet& columns,
 std::shared_ptr<const Pli> PliCache::Get(const ColumnSet& columns) {
   if (std::shared_ptr<const Pli> hit = Find(columns)) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    CacheCounters::Get().hits->Increment();
     return hit;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  CacheCounters::Get().misses->Increment();
 
   // Build by intersecting the PLI of (columns minus its last column) with
   // the last single-column PLI. This caches every prefix of the sorted
@@ -112,6 +152,7 @@ std::shared_ptr<const Pli> PliCache::Get(const ColumnSet& columns) {
     MUDS_CHECK(single != nullptr);
     auto combined = std::make_shared<Pli>(pli->Intersect(*single));
     num_intersects_.fetch_add(1, std::memory_order_relaxed);
+    CacheCounters::Get().intersects->Increment();
     // On a race the canonical (first-inserted) entry comes back, so
     // concurrent builders of the same set agree on one shared_ptr.
     pli = Insert(prefix, std::move(combined));
@@ -123,6 +164,8 @@ std::shared_ptr<const Pli> PliCache::GetIfCached(
     const ColumnSet& columns) const {
   std::shared_ptr<const Pli> hit = Find(columns);
   (hit != nullptr ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+  const CacheCounters& counters = CacheCounters::Get();
+  (hit != nullptr ? counters.hits : counters.misses)->Increment();
   return hit;
 }
 

@@ -1,6 +1,7 @@
 #include "ucc/ducc.h"
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "data/metadata.h"
 #include "setops/antichain.h"
 
@@ -24,6 +25,9 @@ std::vector<ColumnSet> Ducc::Discover(const Relation& relation,
       },
       traversal_options);
   std::vector<ColumnSet> uccs = traversal.Run();
+  metrics::Add("ducc.uniqueness_checks", traversal.stats().predicate_calls);
+  metrics::Add("ducc.walk_steps", traversal.stats().walk_steps);
+  metrics::Add("ducc.holes_checked", traversal.stats().holes_checked);
   if (stats != nullptr) {
     stats->uniqueness_checks = traversal.stats().predicate_calls;
     stats->walk_steps = traversal.stats().walk_steps;

@@ -4,6 +4,7 @@
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "common/trace.h"
 
 namespace muds {
 namespace {
@@ -140,10 +141,10 @@ TEST(PhaseTimingsTest, AccumulatesInFirstUseOrder) {
   EXPECT_EQ(timings.entries()[0].first, "load");
 }
 
-TEST(PhaseTimingsTest, ScopedTimerAdds) {
+TEST(PhaseTimingsTest, TraceSpanAdds) {
   PhaseTimings timings;
   {
-    ScopedPhaseTimer timer(&timings, "scope");
+    MUDS_TRACE_SPAN(&timings, "scope");
   }
   EXPECT_EQ(timings.entries().size(), 1u);
   EXPECT_GE(timings.Micros("scope"), 0);

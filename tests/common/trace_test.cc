@@ -1,0 +1,244 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/timer.h"
+
+namespace muds {
+namespace {
+
+using json::Value;
+
+// The collector is process-global; each test Start()s it (which clears
+// prior events) and Stop()s it before inspecting.
+
+TEST(TraceTest, SpanRecordsBeginEndAndName) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Start();
+  {
+    MUDS_TRACE_SPAN("outer");
+  }
+  collector.Stop();
+  const std::vector<TraceEvent> events = collector.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_GE(events[0].begin_us, 0);
+  EXPECT_GE(events[0].end_us, events[0].begin_us);
+}
+
+TEST(TraceTest, NestedSpansKeepContainment) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Start();
+  {
+    MUDS_TRACE_SPAN("outer");
+    {
+      MUDS_TRACE_SPAN("inner");
+    }
+  }
+  collector.Stop();
+  const std::vector<TraceEvent> events = collector.Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Events() sorts outer-first per thread.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_LE(events[0].begin_us, events[1].begin_us);
+  EXPECT_GE(events[0].end_us, events[1].end_us);
+}
+
+TEST(TraceTest, SpansCarryArgs) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Start();
+  {
+    MUDS_TRACE_SPAN("withArgs", "{\"rhs\":3}");
+  }
+  collector.Stop();
+  const std::vector<TraceEvent> events = collector.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].args, "{\"rhs\":3}");
+}
+
+TEST(TraceTest, ThreadsGetDistinctTids) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Start();
+  {
+    MUDS_TRACE_SPAN("main");
+  }
+  std::thread worker([] { MUDS_TRACE_SPAN("worker"); });
+  worker.join();
+  collector.Stop();
+  const std::vector<TraceEvent> events = collector.Events();
+  ASSERT_EQ(events.size(), 2u);
+  std::map<std::string, uint32_t> tids;
+  for (const TraceEvent& event : events) tids[event.name] = event.tid;
+  EXPECT_NE(tids.at("main"), tids.at("worker"));
+}
+
+TEST(TraceTest, DisabledCollectorRecordsNothing) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Start();
+  collector.Stop();
+  {
+    MUDS_TRACE_SPAN("ignored");
+  }
+  EXPECT_EQ(collector.NumEvents(), 0u);
+}
+
+TEST(TraceTest, SpanFeedsPhaseTimingsEvenWhenDisabled) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Start();
+  collector.Stop();
+  PhaseTimings timings;
+  {
+    MUDS_TRACE_SPAN(&timings, "phase");
+  }
+  EXPECT_EQ(timings.entries().size(), 1u);
+  EXPECT_GE(timings.Micros("phase"), 0);
+}
+
+TEST(TraceTest, PhaseTimingsFromTraceAggregates) {
+  std::vector<TraceEvent> events;
+  TraceEvent a;
+  a.name = "SPIDER";
+  a.begin_us = 0;
+  a.end_us = 100;
+  TraceEvent b;
+  b.name = "FUN";
+  b.begin_us = 100;
+  b.end_us = 350;
+  TraceEvent c;
+  c.name = "SPIDER";
+  c.begin_us = 400;
+  c.end_us = 450;
+  events = {b, c, a};  // Deliberately out of order.
+  const PhaseTimings timings = PhaseTimingsFromTrace(events);
+  EXPECT_EQ(timings.Micros("SPIDER"), 150);
+  EXPECT_EQ(timings.Micros("FUN"), 250);
+  // First-use order follows begin timestamps.
+  ASSERT_EQ(timings.entries().size(), 2u);
+  EXPECT_EQ(timings.entries()[0].first, "SPIDER");
+}
+
+// Golden-format test: the exporter's output must be valid JSON with
+// matched, properly nested B/E pairs and per-thread name metadata.
+TEST(TraceTest, ChromeTraceExportIsValidAndBalanced) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Start();
+  {
+    MUDS_TRACE_SPAN("outer", "{\"k\":1}");
+    {
+      MUDS_TRACE_SPAN("inner");
+    }
+  }
+  std::thread worker([] { MUDS_TRACE_SPAN("worker"); });
+  worker.join();
+  collector.Stop();
+
+  const std::string text = collector.ToChromeTraceJson();
+  Result<Value> parsed = json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Value& root = parsed.value();
+  const Value* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->IsArray());
+
+  std::map<int64_t, std::vector<std::string>> stacks;
+  std::set<int64_t> named_threads;
+  std::set<int64_t> span_threads;
+  size_t begins = 0;
+  size_t ends = 0;
+  for (const Value& event : events->array) {
+    ASSERT_TRUE(event.IsObject());
+    const Value* ph = event.Find("ph");
+    const Value* name = event.Find("name");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(name, nullptr);
+    if (ph->string == "M") {
+      if (name->string == "thread_name") {
+        named_threads.insert(
+            static_cast<int64_t>(event.Find("tid")->number));
+      }
+      continue;
+    }
+    const int64_t tid = static_cast<int64_t>(event.Find("tid")->number);
+    span_threads.insert(tid);
+    if (ph->string == "B") {
+      ++begins;
+      stacks[tid].push_back(name->string);
+    } else {
+      ASSERT_EQ(ph->string, "E");
+      ++ends;
+      ASSERT_FALSE(stacks[tid].empty());
+      // Stack discipline: E closes the innermost open B of its thread.
+      EXPECT_EQ(stacks[tid].back(), name->string);
+      stacks[tid].pop_back();
+    }
+  }
+  EXPECT_EQ(begins, 3u);
+  EXPECT_EQ(ends, begins);
+  for (const auto& [tid, stack] : stacks) EXPECT_TRUE(stack.empty());
+  // Every thread that recorded spans has a thread_name metadata track.
+  EXPECT_EQ(named_threads, span_threads);
+  EXPECT_EQ(span_threads.size(), 2u);
+
+  // Args survive onto the B event.
+  bool saw_args = false;
+  for (const Value& event : events->array) {
+    const Value* name = event.Find("name");
+    const Value* ph = event.Find("ph");
+    if (name->string == "outer" && ph->string == "B") {
+      const Value* args = event.Find("args");
+      ASSERT_NE(args, nullptr);
+      const Value* k = args->Find("k");
+      ASSERT_NE(k, nullptr);
+      EXPECT_EQ(k->number, 1.0);
+      saw_args = true;
+    }
+  }
+  EXPECT_TRUE(saw_args);
+}
+
+TEST(TraceTest, StartClearsPriorEvents) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Start();
+  {
+    MUDS_TRACE_SPAN("first");
+  }
+  collector.Stop();
+  EXPECT_EQ(collector.NumEvents(), 1u);
+  collector.Start();
+  collector.Stop();
+  EXPECT_EQ(collector.NumEvents(), 0u);
+}
+
+TEST(TraceConcurrencyTest, ManyThreadsRecordConcurrently) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Start();
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        MUDS_TRACE_SPAN("burst");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  collector.Stop();
+  EXPECT_EQ(collector.NumEvents(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+  // The export of a heavily concurrent trace still balances.
+  Result<Value> parsed = json::Parse(collector.ToChromeTraceJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+}  // namespace
+}  // namespace muds

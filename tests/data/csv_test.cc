@@ -98,6 +98,82 @@ TEST(CsvReaderTest, MaxRowsLimit) {
   EXPECT_EQ(result.value().NumRows(), 2);
 }
 
+TEST(CsvReaderTest, MaxRowsZeroWithoutHeaderYieldsEmptyRelation) {
+  CsvOptions options;
+  options.has_header = false;
+  options.max_rows = 0;
+  auto result = CsvReader::ReadString("1,x\n2,y\n", options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().NumRows(), 0);
+  EXPECT_EQ(result.value().NumColumns(), 2);
+  EXPECT_EQ(result.value().ColumnName(1), "col1");
+}
+
+TEST(CsvReaderTest, MaxRowsZeroWithHeaderYieldsEmptyRelation) {
+  CsvOptions options;
+  options.max_rows = 0;
+  auto result = CsvReader::ReadString("A,B\n1,x\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumRows(), 0);
+  EXPECT_EQ(result.value().NumColumns(), 2);
+}
+
+TEST(CsvReaderTest, InteriorBlankLinesAreSkipped) {
+  auto result = CsvReader::ReadString("A,B\n1,x\n\n2,y\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().NumRows(), 2);
+  EXPECT_EQ(result.value().Value(1, 0), "2");
+}
+
+TEST(CsvReaderTest, TrailingBlankLinesAreSkipped) {
+  auto result = CsvReader::ReadString("A,B\n1,x\n2,y\n\n\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().NumRows(), 2);
+}
+
+TEST(CsvReaderTest, CrLfBlankLinesAreSkipped) {
+  auto result = CsvReader::ReadString("A,B\r\n\r\n1,x\r\n\r\n2,y\r\n\r\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().NumRows(), 2);
+  EXPECT_EQ(result.value().Value(0, 0), "1");
+}
+
+TEST(CsvReaderTest, BlankLineIsNotAnEmptyRecordInSingleColumnFile) {
+  // A single-column file with a blank line: the blank is skipped, not read
+  // as a row holding one empty value.
+  auto result = CsvReader::ReadString("A\n1\n\n2\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumRows(), 2);
+}
+
+TEST(CsvReaderTest, QuotedEmptyFieldIsARealRecord) {
+  // "" on its own line is content (one empty field), not a blank line.
+  auto result = CsvReader::ReadString("A\n\"\"\n1\n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().NumRows(), 2);
+  EXPECT_EQ(result.value().Value(0, 0), "");
+}
+
+TEST(CsvReaderTest, ArityErrorNamesInputAndDataRow) {
+  auto result =
+      CsvReader::ReadString("A,B\n1,2\n1,2,3\n", CsvOptions{}, "input.csv");
+  ASSERT_FALSE(result.ok());
+  // 1-based data-row numbering: the bad row is the second *data* row; the
+  // header does not count.
+  EXPECT_NE(result.status().message().find("input.csv"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("data row 2"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(CsvReaderTest, ArityErrorRowNumberSkipsBlankLines) {
+  auto result =
+      CsvReader::ReadString("A,B\n1,2\n\n1,2,3\n", CsvOptions{}, "in.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("data row 2"), std::string::npos)
+      << result.status().ToString();
+}
+
 TEST(CsvRoundTripTest, WriteThenReadPreservesContent) {
   Relation original = Relation::FromRows(
       {"name", "note"},

@@ -70,9 +70,12 @@ TEST(NullSemanticsTest, CustomNullToken) {
   auto parsed = CsvReader::ReadString("A\n?\n?\nx\n", options);
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(parsed.value().Cardinality(0), 3);
-  // Empty strings are ordinary values when the token is "?".
-  auto parsed2 = CsvReader::ReadString("A\n\n\nx\n", options);
+  // Empty strings are ordinary values when the token is "?". In a
+  // single-column file an empty value must be quoted — an unquoted empty
+  // line is a blank record and is skipped.
+  auto parsed2 = CsvReader::ReadString("A\n\"\"\n\"\"\nx\n", options);
   ASSERT_TRUE(parsed2.ok());
+  ASSERT_EQ(parsed2.value().NumRows(), 3);
   EXPECT_EQ(parsed2.value().Cardinality(0), 2);
 }
 

@@ -19,7 +19,14 @@
 //                                         results are identical for every
 //                                         budget
 //   --json                                machine-readable JSON output
+//   --output=FILE                         write the report to FILE instead
+//                                         of stdout
 //   --quiet                               only dependency counts
+//   --metrics                             include the metrics-registry
+//                                         counters in the text report
+//                                         (always present in --json)
+//   --trace=FILE                          record a Chrome-tracing /
+//                                         Perfetto JSON trace of the run
 //   --stats                               per-column statistics table
 //   --soft-fds[=T]                        CORDS-style soft FDs with
 //                                         strength >= T (default 0.9)
@@ -29,8 +36,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
+#include "common/trace.h"
 #include "core/profiler.h"
 #include "core/report.h"
 #include "data/statistics.h"
@@ -45,9 +54,12 @@ struct CliOptions {
   ProfileOptions profile;
   bool json = false;
   bool quiet = false;
+  bool metrics = false;
   bool stats = false;
   bool soft_fds = false;
   double soft_fd_strength = 0.9;
+  std::string trace_path;
+  std::string output_path;
 };
 
 void PrintUsage(FILE* out) {
@@ -57,7 +69,8 @@ void PrintUsage(FILE* out) {
       "                    [--separator=C] [--no-header] [--max-rows=N]\n"
       "                    [--null-token=S] [--null-unequal] [--seed=N]\n"
       "                    [--threads=N] [--pli-budget-mb=N] [--json]\n"
-      "                    [--quiet] [--stats] [--soft-fds[=T]]\n");
+      "                    [--output=FILE] [--quiet] [--metrics]\n"
+      "                    [--trace=FILE] [--stats] [--soft-fds[=T]]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -89,7 +102,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (arg == "--no-header") {
       options->profile.csv.has_header = false;
     } else if (arg.rfind("--max-rows=", 0) == 0) {
-      options->profile.csv.max_rows = std::atoll(arg.c_str() + 11);
+      char* end = nullptr;
+      const long long max_rows = std::strtoll(arg.c_str() + 11, &end, 10);
+      if (end == arg.c_str() + 11 || *end != '\0' || max_rows < 0) {
+        std::fprintf(stderr, "--max-rows expects a non-negative count\n");
+        return false;
+      }
+      options->profile.csv.max_rows = max_rows;
     } else if (arg.rfind("--null-token=", 0) == 0) {
       options->profile.csv.null_token = arg.substr(13);
     } else if (arg == "--null-unequal") {
@@ -117,8 +136,22 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
           static_cast<size_t>(mb) << 20;  // 0 = unlimited.
     } else if (arg == "--json") {
       options->json = true;
+    } else if (arg.rfind("--output=", 0) == 0) {
+      options->output_path = arg.substr(9);
+      if (options->output_path.empty()) {
+        std::fprintf(stderr, "--output expects a file path\n");
+        return false;
+      }
     } else if (arg == "--quiet") {
       options->quiet = true;
+    } else if (arg == "--metrics") {
+      options->metrics = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      options->trace_path = arg.substr(8);
+      if (options->trace_path.empty()) {
+        std::fprintf(stderr, "--trace expects a file path\n");
+        return false;
+      }
     } else if (arg == "--stats") {
       options->stats = true;
     } else if (arg == "--soft-fds") {
@@ -151,19 +184,43 @@ int main(int argc, char** argv) {
     PrintUsage(stderr);
     return 1;
   }
+  if (!options.trace_path.empty()) TraceCollector::Global().Start();
   Result<ProfilingResult> result =
       ProfileCsvFile(options.input, options.profile);
+  if (!options.trace_path.empty()) {
+    TraceCollector& collector = TraceCollector::Global();
+    collector.Stop();
+    const Status written = collector.WriteChromeTrace(options.trace_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 2;
+    }
+  }
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  result.status().ToString().c_str());
     return 2;
   }
-  if (options.json) {
-    std::fputs(ProfilingResultToJson(result.value()).c_str(), stdout);
+  const std::string report =
+      options.json
+          ? ProfilingResultToJson(result.value())
+          : ProfilingResultToText(result.value(), options.quiet,
+                                  options.metrics);
+  if (options.output_path.empty()) {
+    std::fputs(report.c_str(), stdout);
   } else {
-    std::fputs(
-        ProfilingResultToText(result.value(), options.quiet).c_str(),
-        stdout);
+    std::ofstream out(options.output_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot create %s\n",
+                   options.output_path.c_str());
+      return 2;
+    }
+    out << report;
+    if (!out) {
+      std::fprintf(stderr, "error: error writing %s\n",
+                   options.output_path.c_str());
+      return 2;
+    }
   }
 
   if (options.stats || options.soft_fds) {

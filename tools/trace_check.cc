@@ -1,0 +1,176 @@
+// trace_check — validates a Chrome-tracing JSON file produced by
+// muds_profile --trace (and, optionally, the matching --json profile
+// report).
+//
+// Usage:
+//   trace_check TRACE.json [--profile-json=FILE] [--require-counter=NAME]...
+//
+// Checks:
+//   - the trace parses as JSON and has a non-empty "traceEvents" array;
+//   - every "B" event is closed by an "E" event on the same thread, in
+//     stack order, with a matching name (and vice versa);
+//   - at least one duration span was recorded;
+//   - with --profile-json: the report parses, contains a "metrics" object,
+//     and that object has every --require-counter key.
+//
+// Exit status: 0 when all checks pass, 1 otherwise (with a message on
+// stderr naming the first failed check).
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace {
+
+using muds::json::Value;
+
+bool ReadWholeFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return false;
+  *out = buffer.str();
+  return true;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "trace_check: %s\n", message.c_str());
+  return 1;
+}
+
+int CheckTrace(const std::string& path) {
+  std::string text;
+  if (!ReadWholeFile(path, &text)) {
+    return Fail("cannot read " + path);
+  }
+  muds::Result<Value> parsed = muds::json::Parse(text);
+  if (!parsed.ok()) {
+    return Fail(path + ": " + parsed.status().ToString());
+  }
+  const Value& root = parsed.value();
+  const Value* events = root.Find("traceEvents");
+  if (events == nullptr || !events->IsArray()) {
+    return Fail(path + ": missing traceEvents array");
+  }
+
+  // Replay B/E events per thread; names must match in stack order.
+  std::map<int64_t, std::vector<std::string>> stacks;
+  size_t spans = 0;
+  for (const Value& event : events->array) {
+    if (!event.IsObject()) {
+      return Fail(path + ": traceEvents entry is not an object");
+    }
+    const Value* ph = event.Find("ph");
+    const Value* name = event.Find("name");
+    if (ph == nullptr || !ph->IsString() || name == nullptr ||
+        !name->IsString()) {
+      return Fail(path + ": event missing ph/name");
+    }
+    if (ph->string == "M") continue;  // Metadata carries no tid pairing.
+    const Value* tid = event.Find("tid");
+    const Value* ts = event.Find("ts");
+    if (tid == nullptr || !tid->IsNumber() || ts == nullptr ||
+        !ts->IsNumber()) {
+      return Fail(path + ": event missing tid/ts");
+    }
+    std::vector<std::string>& stack =
+        stacks[static_cast<int64_t>(tid->number)];
+    if (ph->string == "B") {
+      stack.push_back(name->string);
+      ++spans;
+    } else if (ph->string == "E") {
+      if (stack.empty()) {
+        return Fail(path + ": E event \"" + name->string +
+                    "\" without open B on its thread");
+      }
+      if (stack.back() != name->string) {
+        return Fail(path + ": E event \"" + name->string +
+                    "\" closes B event \"" + stack.back() + "\"");
+      }
+      stack.pop_back();
+    } else {
+      return Fail(path + ": unexpected event phase \"" + ph->string + "\"");
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    if (!stack.empty()) {
+      return Fail(path + ": B event \"" + stack.back() +
+                  "\" never closed on thread " + std::to_string(tid));
+    }
+  }
+  if (spans == 0) {
+    return Fail(path + ": no duration spans recorded");
+  }
+  std::printf("trace_check: %s OK (%zu spans, %zu threads)\n", path.c_str(),
+              spans, stacks.size());
+  return 0;
+}
+
+int CheckProfile(const std::string& path,
+                 const std::vector<std::string>& required_counters) {
+  std::string text;
+  if (!ReadWholeFile(path, &text)) {
+    return Fail("cannot read " + path);
+  }
+  muds::Result<Value> parsed = muds::json::Parse(text);
+  if (!parsed.ok()) {
+    return Fail(path + ": " + parsed.status().ToString());
+  }
+  const Value* metrics = parsed.value().Find("metrics");
+  if (metrics == nullptr || !metrics->IsObject()) {
+    return Fail(path + ": missing metrics object");
+  }
+  for (const std::string& counter : required_counters) {
+    const Value* value = metrics->Find(counter);
+    if (value == nullptr || !value->IsNumber()) {
+      return Fail(path + ": metrics lacks counter \"" + counter + "\"");
+    }
+  }
+  std::printf("trace_check: %s OK (%zu metrics, %zu required present)\n",
+              path.c_str(), metrics->object.size(),
+              required_counters.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string profile_path;
+  std::vector<std::string> required_counters;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--profile-json=", 0) == 0) {
+      profile_path = arg.substr(15);
+    } else if (arg.rfind("--require-counter=", 0) == 0) {
+      required_counters.push_back(arg.substr(18));
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Fail("unknown option: " + arg);
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      return Fail("multiple trace files given");
+    }
+  }
+  if (trace_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: trace_check TRACE.json [--profile-json=FILE]\n"
+                 "                   [--require-counter=NAME]...\n");
+    return 1;
+  }
+  const int trace_status = CheckTrace(trace_path);
+  if (trace_status != 0) return trace_status;
+  if (!profile_path.empty()) {
+    return CheckProfile(profile_path, required_counters);
+  }
+  if (!required_counters.empty()) {
+    return Fail("--require-counter needs --profile-json");
+  }
+  return 0;
+}
