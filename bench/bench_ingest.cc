@@ -1,0 +1,166 @@
+// Ingest bench: load + dictionary-encode throughput of the parallel
+// buffered engine versus the seed streaming parser, on a ~1M-row CSV file
+// (~2M with --full). Writes BENCH_ingest.json with rows/s and bytes/s per
+// configuration, and verifies the buffered relations are bit-identical to
+// the streaming reference before reporting — a perf number for a wrong
+// parse would be meaningless.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "data/csv.h"
+
+namespace muds {
+namespace {
+
+std::string MakeCsvText(int64_t rows, uint64_t seed) {
+  std::string text = "id,word,group,payload,flag,note\n";
+  text.reserve(static_cast<size_t>(rows) * 48);
+  Rng rng(seed);
+  for (int64_t i = 0; i < rows; ++i) {
+    text += std::to_string(i);
+    text += ",w";
+    text += std::to_string(rng.NextBelow(40000));
+    text += ",g";
+    text += std::to_string(rng.NextBelow(97));
+    text += ",p";
+    text += std::to_string(rng.NextBelow(1u << 20));
+    text += rng.NextBelow(2) ? ",yes" : ",no";
+    // Every 16th note is quoted with an embedded separator and newline, so
+    // the bench also pays the quote-handling and arena paths.
+    if (rng.NextBelow(16) == 0) {
+      text += ",\"n,";
+      text += std::to_string(rng.NextBelow(1000));
+      text += "\nx\"\n";
+    } else {
+      text += ",n";
+      text += std::to_string(rng.NextBelow(1000));
+      text += '\n';
+    }
+  }
+  return text;
+}
+
+bool Identical(const Relation& a, const Relation& b) {
+  if (a.NumColumns() != b.NumColumns() || a.NumRows() != b.NumRows() ||
+      a.ColumnNames() != b.ColumnNames()) {
+    return false;
+  }
+  for (int c = 0; c < a.NumColumns(); ++c) {
+    if (a.GetColumn(c).dictionary != b.GetColumn(c).dictionary ||
+        a.GetColumn(c).codes != b.GetColumn(c).codes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  const int64_t rows = args.full ? 2'000'000 : 1'000'000;
+  const int reps = 3;
+
+  std::printf("generating %lld-row CSV...\n", static_cast<long long>(rows));
+  const std::string text = MakeCsvText(rows, args.seed);
+  const std::string path = "bench_ingest_input.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot create %s\n", path.c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+  const double mib = static_cast<double>(text.size()) / (1 << 20);
+  std::printf("input: %.1f MiB, %lld rows\n", mib,
+              static_cast<long long>(rows));
+  bench::PrintRule();
+
+  bench::JsonResultWriter writer("ingest");
+  std::optional<Relation> reference;
+  double stream_ms = 0.0;
+  bool mismatch = false;
+
+  struct Config {
+    const char* name;
+    CsvIoMode io;
+    int threads;
+  };
+  const std::vector<Config> configs = {
+      {"stream", CsvIoMode::kStream, 1},
+      {"buffered", CsvIoMode::kBuffered, 1},
+      {"buffered", CsvIoMode::kBuffered, 2},
+      {"buffered", CsvIoMode::kBuffered, 8},
+  };
+  for (const Config& config : configs) {
+    CsvOptions options;
+    options.io = config.io;
+    options.num_threads = config.threads;
+    double best_ms = 0.0;
+    std::optional<Relation> relation;
+    for (int rep = 0; rep < reps; ++rep) {
+      Timer timer;
+      Result<Relation> parsed = CsvReader::ReadFile(path, options);
+      const double ms =
+          static_cast<double>(timer.ElapsedMicros()) / 1e3;
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "parse failed: %s\n",
+                     parsed.status().ToString().c_str());
+        return 1;
+      }
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+      relation.emplace(std::move(parsed).value());
+    }
+    if (config.io == CsvIoMode::kStream) {
+      stream_ms = best_ms;
+      reference.emplace(std::move(*relation));
+    } else if (!Identical(*relation, *reference)) {
+      std::fprintf(stderr,
+                   "FAIL: buffered relation (threads=%d) differs from the "
+                   "streaming reference\n",
+                   config.threads);
+      mismatch = true;
+    }
+
+    const double seconds = best_ms / 1e3;
+    const int64_t rows_per_s =
+        static_cast<int64_t>(static_cast<double>(rows) / seconds);
+    const int64_t bytes_per_s = static_cast<int64_t>(
+        static_cast<double>(text.size()) / seconds);
+    const double speedup = stream_ms / best_ms;
+    std::printf("%-8s threads=%d  %9.1f ms  %7.2f MiB/s  %8lld rows/s  "
+                "%.2fx\n",
+                config.name, config.threads, best_ms,
+                static_cast<double>(bytes_per_s) / (1 << 20),
+                static_cast<long long>(rows_per_s), speedup);
+    writer.Add(std::string(config.name) +
+                   "/threads=" + std::to_string(config.threads),
+               best_ms, config.threads,
+               {{"rows", rows},
+                {"bytes", static_cast<int64_t>(text.size())},
+                {"rows_per_s", rows_per_s},
+                {"bytes_per_s", bytes_per_s},
+                {"speedup_vs_stream_pct",
+                 static_cast<int64_t>(speedup * 100.0)}});
+  }
+  writer.Write();
+  std::remove(path.c_str());
+  bench::PrintRule();
+  if (mismatch) return 1;
+  std::printf("all buffered relations bit-identical to the streaming "
+              "reference\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace muds
+
+int main(int argc, char** argv) { return muds::Run(argc, argv); }

@@ -165,17 +165,33 @@ ProfilingResult ProfileRelation(const Relation& relation,
   return result;
 }
 
+namespace {
+
+// The session thread count drives the ingest engine too, unless the caller
+// pinned `csv.num_threads` to something other than its default.
+CsvOptions CsvOptionsForLoad(const ProfileOptions& options) {
+  CsvOptions csv = options.csv;
+  if (csv.num_threads == 1) csv.num_threads = options.num_threads;
+  return csv;
+}
+
+}  // namespace
+
 Result<ProfilingResult> ProfileCsvString(std::string_view text,
                                          const ProfileOptions& options) {
   // The baseline runs three independent tools, each reading the input
   // itself; the holistic algorithms read once (§3: shared I/O).
   const int num_reads = options.algorithm == Algorithm::kBaseline ? 3 : 1;
+  // ProfileRelation snapshots the metrics registry around the discovery
+  // phases only; widen the delta here so ingest.* counters are included.
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  const CsvOptions csv = CsvOptionsForLoad(options);
   int64_t load_micros = 0;
   std::optional<Relation> relation;
   for (int i = 0; i < num_reads; ++i) {
     MUDS_TRACE_SPAN("load");
     Timer load_timer;
-    Result<Relation> parsed = CsvReader::ReadString(text, options.csv);
+    Result<Relation> parsed = CsvReader::ReadString(text, csv);
     if (!parsed.ok()) return parsed.status();
     load_micros += load_timer.ElapsedMicros();
     relation.emplace(std::move(parsed).value());
@@ -183,18 +199,22 @@ Result<ProfilingResult> ProfileCsvString(std::string_view text,
 
   ProfilingResult result = ProfileRelation(*relation, options);
   result.timings.Add("load", load_micros);
+  result.metrics = MetricsRegistry::Delta(
+      before, MetricsRegistry::Global().Snapshot());
   return result;
 }
 
 Result<ProfilingResult> ProfileCsvFile(const std::string& path,
                                        const ProfileOptions& options) {
   const int num_reads = options.algorithm == Algorithm::kBaseline ? 3 : 1;
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  const CsvOptions csv = CsvOptionsForLoad(options);
   int64_t load_micros = 0;
   std::optional<Relation> relation;
   for (int i = 0; i < num_reads; ++i) {
     MUDS_TRACE_SPAN("load");
     Timer load_timer;
-    Result<Relation> parsed = CsvReader::ReadFile(path, options.csv);
+    Result<Relation> parsed = CsvReader::ReadFile(path, csv);
     if (!parsed.ok()) return parsed.status();
     load_micros += load_timer.ElapsedMicros();
     relation.emplace(std::move(parsed).value());
@@ -202,6 +222,8 @@ Result<ProfilingResult> ProfileCsvFile(const std::string& path,
 
   ProfilingResult result = ProfileRelation(*relation, options);
   result.timings.Add("load", load_micros);
+  result.metrics = MetricsRegistry::Delta(
+      before, MetricsRegistry::Global().Snapshot());
   return result;
 }
 

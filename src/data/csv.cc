@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "data/ingest.h"
+
 namespace muds {
 
 namespace {
@@ -122,6 +124,15 @@ void AppendField(const std::string& value, const CsvOptions& options,
 Result<Relation> CsvReader::ReadString(std::string_view text,
                                        const CsvOptions& options,
                                        std::string name) {
+  if (options.io == CsvIoMode::kStream) {
+    return ReadStringStream(text, options, std::move(name));
+  }
+  return IngestCsv(text, options, std::move(name));
+}
+
+Result<Relation> CsvReader::ReadStringStream(std::string_view text,
+                                             const CsvOptions& options,
+                                             std::string name) {
   RecordScanner scanner(text, options);
   std::vector<std::string> fields;
   Status error;
@@ -206,10 +217,27 @@ Result<Relation> CsvReader::ReadFile(const std::string& path,
                                      const CsvOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) return Status::IoError("error reading " + path);
-  return ReadString(buffer.str(), options, path);
+  if (options.io == CsvIoMode::kStream) {
+    // Seed path: stream through an ostringstream (two buffers).
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) return Status::IoError("error reading " + path);
+    return ReadString(buffer.str(), options, path);
+  }
+  // Buffered path: size the backing buffer from the file length and fill
+  // it with one read — the parse then borrows string_views from it.
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return Status::IoError("error reading " + path);
+  in.seekg(0, std::ios::beg);
+  std::string buffer(static_cast<size_t>(size), '\0');
+  if (size > 0) {
+    in.read(buffer.data(), size);
+    if (in.bad() || in.gcount() != size) {
+      return Status::IoError("error reading " + path);
+    }
+  }
+  return ReadString(buffer, options, path);
 }
 
 std::string CsvWriter::ToString(const Relation& relation,

@@ -22,6 +22,17 @@ enum class NullSemantics {
   kNullUnequal,
 };
 
+/// Which ingest engine the reader runs (muds_profile --io=stream|buffered).
+enum class CsvIoMode {
+  /// Default: one allocation for the whole file, record-aligned chunking,
+  /// parallel zero-copy parse and chunked dictionary encoding (ingest.h).
+  kBuffered,
+  /// Escape hatch: the original streaming read + byte-at-a-time scanner.
+  /// Single-threaded; kept as the reference the buffered engine must match
+  /// bit for bit, and as the seed baseline for bench_ingest.
+  kStream,
+};
+
 /// CSV parsing options.
 struct CsvOptions {
   char separator = ',';
@@ -36,6 +47,16 @@ struct CsvOptions {
   /// empty default means empty cells are the nulls.
   std::string null_token;
   NullSemantics nulls = NullSemantics::kNullEqual;
+  /// Ingest engine; kBuffered honors the two knobs below.
+  CsvIoMode io = CsvIoMode::kBuffered;
+  /// Worker threads for the buffered engine (0 = hardware concurrency,
+  /// 1 = inline on the caller). The parsed relation is bit-identical —
+  /// same dictionaries, same codes — at every thread count.
+  int num_threads = 1;
+  /// Target chunk size in bytes for the buffered engine (0 = automatic).
+  /// Tests set tiny values to force chunk boundaries into quoted fields;
+  /// the result does not depend on the chunking.
+  size_t chunk_bytes = 0;
 };
 
 /// Parses RFC-4180-style CSV: quoted fields may contain separators,
@@ -45,14 +66,27 @@ struct CsvOptions {
 /// data-row number (the header is not counted).
 class CsvReader {
  public:
-  /// Parses an in-memory CSV document.
+  /// Parses an in-memory CSV document. Dispatches on `options.io`: the
+  /// buffered engine (parallel, zero-copy; see data/ingest.h) by default,
+  /// the streaming reference scanner for CsvIoMode::kStream. Both produce
+  /// bit-identical relations on every input.
   static Result<Relation> ReadString(std::string_view text,
                                      const CsvOptions& options = {},
                                      std::string name = "relation");
 
   /// Reads and parses a CSV file. The relation is named after the path.
+  /// In buffered mode the file is read with a single allocation sized by
+  /// the file length; stream mode keeps the seed path's buffered-stream
+  /// read.
   static Result<Relation> ReadFile(const std::string& path,
                                    const CsvOptions& options = {});
+
+  /// The single-threaded streaming parser (the seed implementation),
+  /// independent of `options.io`/`num_threads`/`chunk_bytes` — the oracle
+  /// that differential tests compare the parallel engine against.
+  static Result<Relation> ReadStringStream(std::string_view text,
+                                           const CsvOptions& options = {},
+                                           std::string name = "relation");
 };
 
 /// Writes a relation back out as CSV (quoting only where necessary).

@@ -1,0 +1,608 @@
+#include "data/ingest.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+
+namespace muds {
+
+namespace {
+
+// Smallest automatic chunk: below this, splitting costs more (pre-scan,
+// per-chunk dictionaries, remap tables) than the parallel parse recovers.
+constexpr size_t kMinAutoChunkBytes = size_t{256} << 10;
+
+// Chunks per worker thread: a few more than one so record-density skew
+// between chunks balances out through the pool's dynamic claiming.
+constexpr int kChunksPerThread = 4;
+
+int ResolveThreads(int num_threads) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int hardware = hw > 0 ? static_cast<int>(hw) : 1;
+  // The parse is CPU-bound: workers beyond the core count only add
+  // oversubscription, so cap at the hardware (the result is identical at
+  // every thread count anyway).
+  if (num_threads == 0) return hardware;
+  return std::min(num_threads, hardware);
+}
+
+// Accumulates one field as a contiguous range of the input buffer for as
+// long as possible, falling back to an arena copy the moment the content
+// stops matching the raw bytes (doubled-quote unescapes, quoted-then-
+// unquoted mixes). `empty()` mirrors RecordScanner's `field.empty()`, which
+// gates quote opening.
+class FieldBuilder {
+ public:
+  FieldBuilder(const char* base, std::deque<std::string>* arena)
+      : base_(base), arena_(arena) {}
+
+  bool empty() const { return empty_; }
+
+  // Appends the raw bytes [begin, end).
+  void AppendRange(size_t begin, size_t end) {
+    if (begin == end) return;
+    if (!materialized_) {
+      if (empty_) {
+        begin_ = begin;
+        end_ = end;
+        empty_ = false;
+        return;
+      }
+      if (end_ == begin) {
+        end_ = end;
+        return;
+      }
+      Materialize();
+    }
+    scratch_.append(base_ + begin, end - begin);
+    empty_ = false;
+  }
+
+  void AppendRaw(size_t pos) { AppendRange(pos, pos + 1); }
+
+  // Finishes the field; the returned view is backed by the input buffer or,
+  // if materialized, by the arena (stable addresses: deque).
+  std::string_view Finish() {
+    std::string_view view;
+    if (materialized_) {
+      arena_->push_back(std::move(scratch_));
+      view = arena_->back();
+    } else if (!empty_) {
+      view = std::string_view(base_ + begin_, end_ - begin_);
+    }
+    Reset();
+    return view;
+  }
+
+  void Reset() {
+    materialized_ = false;
+    empty_ = true;
+    scratch_.clear();
+  }
+
+ private:
+  void Materialize() {
+    scratch_.assign(base_ + begin_, end_ - begin_);
+    materialized_ = true;
+  }
+
+  const char* base_;
+  std::deque<std::string>* arena_;
+  size_t begin_ = 0;
+  size_t end_ = 0;
+  std::string scratch_;
+  bool materialized_ = false;
+  bool empty_ = true;
+};
+
+// Zero-copy record scanner over one chunk [begin, end) of the buffer. The
+// state machine is byte-for-byte the one in csv.cc's RecordScanner (quote
+// opens only on an empty field, doubled quote is a literal, \r\n is one
+// break, fully-blank lines are skipped) so that chunked parses agree with
+// the streaming reference on every input.
+class ChunkParser {
+ public:
+  enum class Next { kRecord, kEnd, kUnterminatedQuote };
+
+  ChunkParser(std::string_view text, size_t begin, size_t end,
+              const CsvOptions& options, std::deque<std::string>* arena)
+      : text_(text),
+        pos_(begin),
+        end_(end),
+        options_(options),
+        field_(text.data(), arena) {
+    plain_.fill(true);
+    plain_[static_cast<unsigned char>(options.quote)] = false;
+    plain_[static_cast<unsigned char>(options.separator)] = false;
+    plain_[static_cast<unsigned char>('\n')] = false;
+    plain_[static_cast<unsigned char>('\r')] = false;
+  }
+
+  Next NextRecord(std::vector<std::string_view>* fields) {
+    fields->clear();
+    field_.Reset();
+    bool in_quotes = false;
+    bool saw_content = false;
+    while (pos_ < end_) {
+      const char c = text_[pos_];
+      if (in_quotes) {
+        // Bulk-skip to the next quote; everything before it is content.
+        const char* next = static_cast<const char*>(std::memchr(
+            text_.data() + pos_, options_.quote, end_ - pos_));
+        if (next == nullptr) {
+          field_.AppendRange(pos_, end_);
+          pos_ = end_;
+          return Next::kUnterminatedQuote;
+        }
+        const size_t quote_pos =
+            static_cast<size_t>(next - text_.data());
+        field_.AppendRange(pos_, quote_pos);
+        if (quote_pos + 1 < end_ && text_[quote_pos + 1] == options_.quote) {
+          field_.AppendRaw(quote_pos);  // Doubled quote = literal quote.
+          pos_ = quote_pos + 2;
+        } else {
+          in_quotes = false;
+          pos_ = quote_pos + 1;
+        }
+        continue;
+      }
+      if (c == options_.quote && field_.empty()) {
+        in_quotes = true;
+        saw_content = true;
+        ++pos_;
+      } else if (c == options_.separator) {
+        fields->push_back(field_.Finish());
+        saw_content = true;
+        ++pos_;
+      } else if (c == '\n' || c == '\r') {
+        // Consume the line break ("\r\n" counts as one).
+        if (c == '\r' && pos_ + 1 < end_ && text_[pos_ + 1] == '\n') {
+          ++pos_;
+        }
+        ++pos_;
+        if (!saw_content) continue;  // Blank line: skip, keep scanning.
+        fields->push_back(field_.Finish());
+        return Next::kRecord;
+      } else {
+        // Bulk-append the run of plain bytes starting here.
+        size_t run = pos_ + 1;
+        while (run < end_ && plain_[static_cast<unsigned char>(text_[run])]) {
+          ++run;
+        }
+        field_.AppendRange(pos_, run);
+        saw_content = true;
+        pos_ = run;
+      }
+    }
+    if (in_quotes) return Next::kUnterminatedQuote;
+    if (saw_content) {
+      fields->push_back(field_.Finish());
+      return Next::kRecord;
+    }
+    return Next::kEnd;
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_;
+  size_t end_;
+  const CsvOptions& options_;
+  FieldBuilder field_;
+  std::array<bool, 256> plain_;
+};
+
+// Quote-aware pre-scan: walks the same state machine as ChunkParser but
+// only tracks enough state to find record boundaries (in-quotes and
+// field-emptiness, which gates quote opening), and emits the first record
+// start at or after each `target_bytes`-spaced offset. Stops as soon as no
+// further split target can be reached.
+std::vector<size_t> SplitRecordAligned(std::string_view text, size_t begin,
+                                       const CsvOptions& options,
+                                       size_t target_bytes) {
+  std::vector<size_t> starts = {begin};
+  const size_t n = text.size();
+  std::array<bool, 256> plain;
+  plain.fill(true);
+  plain[static_cast<unsigned char>(options.quote)] = false;
+  plain[static_cast<unsigned char>(options.separator)] = false;
+  plain[static_cast<unsigned char>('\n')] = false;
+  plain[static_cast<unsigned char>('\r')] = false;
+
+  size_t next_target = begin + target_bytes;
+  size_t pos = begin;
+  bool in_quotes = false;
+  bool field_empty = true;
+  while (pos < n && next_target < n) {
+    const char c = text[pos];
+    if (in_quotes) {
+      const char* next = static_cast<const char*>(
+          std::memchr(text.data() + pos, options.quote, n - pos));
+      if (next == nullptr) return starts;  // Unterminated: no more records.
+      const size_t quote_pos = static_cast<size_t>(next - text.data());
+      if (quote_pos > pos) field_empty = false;
+      if (quote_pos + 1 < n && text[quote_pos + 1] == options.quote) {
+        field_empty = false;
+        pos = quote_pos + 2;
+      } else {
+        in_quotes = false;
+        pos = quote_pos + 1;
+      }
+      continue;
+    }
+    if (c == options.quote && field_empty) {
+      in_quotes = true;
+      ++pos;
+    } else if (c == options.separator) {
+      field_empty = true;
+      ++pos;
+    } else if (c == '\n' || c == '\r') {
+      if (c == '\r' && pos + 1 < n && text[pos + 1] == '\n') ++pos;
+      ++pos;
+      field_empty = true;
+      if (pos >= next_target && pos < n) {
+        starts.push_back(pos);
+        next_target = pos + target_bytes;
+      }
+    } else {
+      size_t run = pos + 1;
+      while (run < n && plain[static_cast<unsigned char>(text[run])]) ++run;
+      field_empty = false;
+      pos = run;
+    }
+  }
+  return starts;
+}
+
+// Everything one chunk's parse produces; written by exactly one pool task.
+struct ChunkData {
+  // columns[col][local_row]: field views, valid records only.
+  std::vector<std::vector<std::string_view>> columns;
+  // Owns unescaped fields and synthesized NULL values (stable addresses).
+  std::deque<std::string> arena;
+  // NULL cells (local_row, col) in row-major scan order.
+  std::vector<std::pair<int64_t, int>> null_cells;
+  int64_t num_records = 0;
+  // First arity-mismatched record: its index among this chunk's data
+  // records, and its field count. Parsing stops there (rows past the first
+  // error are never needed — see the error-resolution pass).
+  int64_t bad_local = -1;
+  size_t bad_fields = 0;
+  bool unterminated = false;
+};
+
+void ParseChunk(std::string_view text, size_t begin, size_t end,
+                const CsvOptions& options, int num_columns, ChunkData* out) {
+  out->columns.resize(static_cast<size_t>(num_columns));
+  ChunkParser parser(text, begin, end, options, &out->arena);
+  std::vector<std::string_view> fields;
+  const bool scan_nulls = options.nulls == NullSemantics::kNullUnequal;
+  for (;;) {
+    const ChunkParser::Next next = parser.NextRecord(&fields);
+    if (next == ChunkParser::Next::kEnd) return;
+    if (next == ChunkParser::Next::kUnterminatedQuote) {
+      out->unterminated = true;
+      return;
+    }
+    if (fields.size() != static_cast<size_t>(num_columns)) {
+      out->bad_local = out->num_records;
+      out->bad_fields = fields.size();
+      return;
+    }
+    for (int c = 0; c < num_columns; ++c) {
+      if (scan_nulls && fields[static_cast<size_t>(c)] == options.null_token) {
+        out->null_cells.emplace_back(out->num_records, c);
+      }
+      out->columns[static_cast<size_t>(c)].push_back(
+          fields[static_cast<size_t>(c)]);
+    }
+    ++out->num_records;
+  }
+}
+
+// Per-chunk, per-column thread-local dictionaries: distinct values in
+// first-seen order plus provisional codes into that order.
+struct ChunkDicts {
+  std::vector<std::vector<std::string_view>> distinct;  // [col][local_id]
+  std::vector<std::vector<int32_t>> codes;              // [col][local_row]
+};
+
+}  // namespace
+
+Result<Relation> IngestCsv(std::string_view text, const CsvOptions& options,
+                           std::string name) {
+  // Schema: the first record names the columns (or sizes col0..colN-1).
+  std::vector<std::string> column_names;
+  size_t data_begin = 0;
+  {
+    std::deque<std::string> arena;
+    std::vector<std::string_view> fields;
+    ChunkParser probe(text, 0, text.size(), options, &arena);
+    const ChunkParser::Next next = probe.NextRecord(&fields);
+    if (next == ChunkParser::Next::kUnterminatedQuote) {
+      return Status::ParseError("unterminated quoted field in record 1");
+    }
+    if (next == ChunkParser::Next::kEnd) {
+      return Status::ParseError(options.has_header
+                                    ? "empty input: missing header record"
+                                    : "empty input");
+    }
+    column_names.reserve(fields.size());
+    if (options.has_header) {
+      for (const std::string_view field : fields) {
+        column_names.emplace_back(field);
+      }
+      data_begin = probe.pos();
+    } else {
+      for (size_t i = 0; i < fields.size(); ++i) {
+        column_names.push_back("col" + std::to_string(i));
+      }
+    }
+    if (static_cast<int>(column_names.size()) > ColumnSet::kMaxColumns) {
+      // Rare and terminal: delegate to the streaming reference, which knows
+      // the exact error shapes for over-wide inputs.
+      return CsvReader::ReadStringStream(text, options, std::move(name));
+    }
+  }
+  const int num_columns = static_cast<int>(column_names.size());
+  const int64_t cut = options.max_rows;  // < 0 = keep everything.
+
+  // Record-aligned chunking.
+  const int num_threads = ResolveThreads(options.num_threads);
+  const size_t data_size = text.size() - data_begin;
+  std::vector<size_t> starts;
+  if (data_size > 0) {
+    MUDS_TRACE_SPAN("ingest.scan");
+    size_t target = options.chunk_bytes;
+    if (target == 0) {
+      target = num_threads <= 1
+                   ? data_size
+                   : std::max(kMinAutoChunkBytes,
+                              data_size / static_cast<size_t>(
+                                              num_threads * kChunksPerThread));
+    }
+    if (target >= data_size) {
+      starts = {data_begin};
+    } else {
+      starts = SplitRecordAligned(text, data_begin, options, target);
+    }
+  }
+
+  const int num_chunks = static_cast<int>(starts.size());
+  std::vector<ChunkData> chunks(static_cast<size_t>(num_chunks));
+  ThreadPool pool(num_threads);
+  {
+    MUDS_TRACE_SPAN("ingest.parse");
+    pool.ParallelFor(0, num_chunks, [&](int64_t i) {
+      const size_t begin = starts[static_cast<size_t>(i)];
+      const size_t end = i + 1 < num_chunks
+                             ? starts[static_cast<size_t>(i + 1)]
+                             : text.size();
+      ParseChunk(text, begin, end, options, num_columns,
+                 &chunks[static_cast<size_t>(i)]);
+    });
+  }
+
+  // Error resolution, in file order. Arity errors past the max_rows cut are
+  // never seen by the streaming reference (it stops scanning first), and an
+  // unterminated final record is reported only if scanning reaches it —
+  // i.e. only when at most max_rows records precede it.
+  int64_t bad_global = -1;
+  size_t bad_fields = 0;
+  bool unterminated = false;
+  int64_t total_records = 0;
+  for (const ChunkData& chunk : chunks) {
+    if (bad_global < 0 && chunk.bad_local >= 0) {
+      bad_global = total_records + chunk.bad_local;
+      bad_fields = chunk.bad_fields;
+    }
+    if (chunk.unterminated) unterminated = true;
+    total_records += chunk.num_records;
+  }
+  if (bad_global >= 0) {
+    if (cut < 0 || bad_global < cut) {
+      return Status::ParseError(
+          name + ": data row " + std::to_string(bad_global + 1) + " has " +
+          std::to_string(bad_fields) + " fields, expected " +
+          std::to_string(num_columns));
+    }
+  } else if (unterminated && (cut < 0 || total_records <= cut)) {
+    const int64_t record_number =
+        (options.has_header ? 1 : 0) + total_records;
+    return Status::ParseError("unterminated quoted field in record " +
+                              std::to_string(record_number + 1));
+  }
+
+  // Row cut and per-chunk row offsets (global row = offset + local row).
+  std::vector<int64_t> keep(static_cast<size_t>(num_chunks), 0);
+  std::vector<int64_t> row_offset(static_cast<size_t>(num_chunks), 0);
+  int64_t total_rows = 0;
+  for (int i = 0; i < num_chunks; ++i) {
+    const int64_t records = chunks[static_cast<size_t>(i)].num_records;
+    row_offset[static_cast<size_t>(i)] = total_rows;
+    const int64_t kept =
+        cut < 0 ? records
+                : std::clamp<int64_t>(cut - total_rows, 0, records);
+    keep[static_cast<size_t>(i)] = kept;
+    total_rows += kept;
+    if (cut >= 0 && total_rows >= cut) {
+      // Later chunks contribute nothing; their keep stays 0.
+      break;
+    }
+  }
+
+  // NULL != NULL: rewrite each null cell into a per-cell unique value,
+  // numbered in global row-major order (chunks know their prefix offsets).
+  if (options.nulls == NullSemantics::kNullUnequal) {
+    std::vector<int64_t> null_kept(static_cast<size_t>(num_chunks), 0);
+    std::vector<int64_t> null_offset(static_cast<size_t>(num_chunks), 0);
+    int64_t total_nulls = 0;
+    for (int i = 0; i < num_chunks; ++i) {
+      const ChunkData& chunk = chunks[static_cast<size_t>(i)];
+      const auto first_cut = std::partition_point(
+          chunk.null_cells.begin(), chunk.null_cells.end(),
+          [&](const std::pair<int64_t, int>& cell) {
+            return cell.first < keep[static_cast<size_t>(i)];
+          });
+      null_kept[static_cast<size_t>(i)] =
+          first_cut - chunk.null_cells.begin();
+      null_offset[static_cast<size_t>(i)] = total_nulls;
+      total_nulls += null_kept[static_cast<size_t>(i)];
+    }
+    pool.ParallelFor(0, num_chunks, [&](int64_t i) {
+      ChunkData& chunk = chunks[static_cast<size_t>(i)];
+      for (int64_t j = 0; j < null_kept[static_cast<size_t>(i)]; ++j) {
+        const auto [row, col] = chunk.null_cells[static_cast<size_t>(j)];
+        chunk.arena.push_back(
+            std::string("\x01null#") +
+            std::to_string(null_offset[static_cast<size_t>(i)] + j));
+        chunk.columns[static_cast<size_t>(col)][static_cast<size_t>(row)] =
+            chunk.arena.back();
+      }
+    });
+  }
+
+  // Thread-local dictionary encoding: one hash probe per cell.
+  std::vector<ChunkDicts> dicts(static_cast<size_t>(num_chunks));
+  {
+    MUDS_TRACE_SPAN("ingest.encode");
+    pool.ParallelFor(0, num_chunks, [&](int64_t i) {
+      const ChunkData& chunk = chunks[static_cast<size_t>(i)];
+      const int64_t rows = keep[static_cast<size_t>(i)];
+      ChunkDicts& dict = dicts[static_cast<size_t>(i)];
+      dict.distinct.resize(static_cast<size_t>(num_columns));
+      dict.codes.resize(static_cast<size_t>(num_columns));
+      std::unordered_map<std::string_view, int32_t> id_of;
+      // One bucket allocation for the whole chunk: clear() keeps buckets,
+      // and no column can have more distinct values than rows.
+      id_of.reserve(static_cast<size_t>(rows));
+      for (int c = 0; c < num_columns; ++c) {
+        const auto& values = chunk.columns[static_cast<size_t>(c)];
+        auto& distinct = dict.distinct[static_cast<size_t>(c)];
+        auto& codes = dict.codes[static_cast<size_t>(c)];
+        codes.reserve(static_cast<size_t>(rows));
+        id_of.clear();
+        for (int64_t row = 0; row < rows; ++row) {
+          const std::string_view value = values[static_cast<size_t>(row)];
+          const auto [it, inserted] = id_of.try_emplace(
+              value, static_cast<int32_t>(distinct.size()));
+          if (inserted) distinct.push_back(value);
+          codes.push_back(it->second);
+          // Near-unique column (a key, say): deduplicating here buys
+          // nothing — the merge sort deduplicates anyway, and duplicate
+          // entries in `distinct` are harmless (each gets the same rank).
+          // Stop paying a hash probe per cell once that's clear.
+          if (inserted && distinct.size() >= 4096 &&
+              distinct.size() * 4 >= static_cast<size_t>(row + 1) * 3) {
+            for (int64_t r = row + 1; r < rows; ++r) {
+              codes.push_back(static_cast<int32_t>(distinct.size()));
+              distinct.push_back(values[static_cast<size_t>(r)]);
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+
+  // Merge: the global dictionary is the sorted union of the chunk
+  // dictionaries, and each chunk's local codes are remapped to global ranks
+  // — independent of chunk count and thread count by construction.
+  std::vector<Column> columns(static_cast<size_t>(num_columns));
+  {
+    MUDS_TRACE_SPAN("ingest.merge");
+    pool.ParallelFor(0, num_columns, [&](int64_t c) {
+      // One sort of (value, chunk, local_id) entries ranks the union and
+      // yields every chunk's remap table in the same walk — no per-value
+      // binary searches or hash probes. The big-endian 8-byte prefix key
+      // turns most comparisons into one integer compare; the full value
+      // breaks prefix ties.
+      struct Entry {
+        uint64_t key;
+        std::string_view value;
+        int32_t chunk;
+        int32_t local_id;
+      };
+      const auto prefix_key = [](std::string_view value) {
+        uint64_t key = 0;
+        const size_t n = std::min<size_t>(value.size(), 8);
+        for (size_t i = 0; i < n; ++i) {
+          key |= static_cast<uint64_t>(static_cast<unsigned char>(value[i]))
+                 << (56 - 8 * i);
+        }
+        return key;
+      };
+      size_t total_distinct = 0;
+      for (const ChunkDicts& dict : dicts) {
+        total_distinct += dict.distinct[static_cast<size_t>(c)].size();
+      }
+      std::vector<Entry> entries;
+      entries.reserve(total_distinct);
+      std::vector<std::vector<int32_t>> remap(
+          static_cast<size_t>(num_chunks));
+      for (int i = 0; i < num_chunks; ++i) {
+        const auto& distinct =
+            dicts[static_cast<size_t>(i)].distinct[static_cast<size_t>(c)];
+        remap[static_cast<size_t>(i)].resize(distinct.size());
+        for (size_t id = 0; id < distinct.size(); ++id) {
+          entries.push_back(Entry{prefix_key(distinct[id]), distinct[id], i,
+                                  static_cast<int32_t>(id)});
+        }
+      }
+      std::sort(entries.begin(), entries.end(),
+                [](const Entry& a, const Entry& b) {
+                  return a.key != b.key ? a.key < b.key : a.value < b.value;
+                });
+
+      Column& column = columns[static_cast<size_t>(c)];
+      column.dictionary.reserve(entries.size());
+      int32_t rank = -1;
+      std::string_view previous;
+      for (const Entry& entry : entries) {
+        if (rank < 0 || entry.value != previous) {
+          ++rank;
+          previous = entry.value;
+          column.dictionary.emplace_back(entry.value);
+        }
+        remap[static_cast<size_t>(entry.chunk)]
+             [static_cast<size_t>(entry.local_id)] = rank;
+      }
+
+      column.codes.resize(static_cast<size_t>(total_rows));
+      for (int i = 0; i < num_chunks; ++i) {
+        const auto& local_codes =
+            dicts[static_cast<size_t>(i)].codes[static_cast<size_t>(c)];
+        const auto& chunk_remap = remap[static_cast<size_t>(i)];
+        int32_t* out =
+            column.codes.data() + row_offset[static_cast<size_t>(i)];
+        for (int64_t j = 0; j < keep[static_cast<size_t>(i)]; ++j) {
+          out[j] = chunk_remap[static_cast<size_t>(
+              local_codes[static_cast<size_t>(j)])];
+        }
+      }
+    });
+  }
+
+  metrics::Add("ingest.bytes", static_cast<int64_t>(text.size()));
+  metrics::Add("ingest.records", total_rows);
+  metrics::Add("ingest.chunks", num_chunks);
+
+  return Relation(std::move(name), std::move(column_names),
+                  std::move(columns), static_cast<RowId>(total_rows));
+}
+
+}  // namespace muds

@@ -1,0 +1,41 @@
+#ifndef MUDS_DATA_INGEST_H_
+#define MUDS_DATA_INGEST_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "data/csv.h"
+#include "data/relation.h"
+
+namespace muds {
+
+/// Parallel, (near) zero-copy CSV ingest — the buffered engine behind
+/// CsvReader (see DESIGN.md, "Ingest pipeline").
+///
+/// The text is split into record-aligned chunks by a quote-aware pre-scan,
+/// each chunk is parsed concurrently into string_view fields backed by the
+/// input buffer (fields that need unescaping or NULL rewriting are the only
+/// copies, into a per-chunk arena), dictionary-encoded against thread-local
+/// per-chunk dictionaries, and merged into the global sorted dictionary with
+/// a code-remap pass.
+///
+/// Determinism contract: the resulting Relation is bit-identical — same
+/// dictionaries, same codes, same errors — to CsvReader::ReadStringStream
+/// for every thread count and every chunk size. The global dictionary is the
+/// sorted union of the chunk dictionaries and a code is the value's rank in
+/// it, so the merge is independent of how the input was chunked; rows keep
+/// file order through per-chunk row offsets.
+///
+/// Honors `options.num_threads` (0 = hardware concurrency) and
+/// `options.chunk_bytes` (0 = automatic sizing; tests set tiny values to
+/// force record boundaries into quoted fields). Counts `ingest.bytes`,
+/// `ingest.records`, and `ingest.chunks` in the metrics registry and emits
+/// `ingest.scan` / `ingest.parse` / `ingest.encode` / `ingest.merge` trace
+/// spans.
+Result<Relation> IngestCsv(std::string_view text, const CsvOptions& options,
+                           std::string name = "relation");
+
+}  // namespace muds
+
+#endif  // MUDS_DATA_INGEST_H_

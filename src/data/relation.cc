@@ -1,6 +1,8 @@
 #include "data/relation.h"
 
 #include <algorithm>
+#include <numeric>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 
@@ -9,23 +11,41 @@ namespace muds {
 namespace {
 
 // Sorts the distinct values of `raw` into a dictionary and rewrites the
-// column as codes into it.
+// column as codes into it. Each value is hashed exactly once: the map
+// assigns provisional first-seen ids during insertion, and a rank remap
+// turns those into sorted-dictionary codes afterwards — only the distinct
+// values are sorted, never the full column.
 Column EncodeColumn(const std::vector<std::string>& raw) {
-  Column column;
-  column.dictionary = raw;
-  std::sort(column.dictionary.begin(), column.dictionary.end());
-  column.dictionary.erase(
-      std::unique(column.dictionary.begin(), column.dictionary.end()),
-      column.dictionary.end());
+  std::unordered_map<std::string_view, int32_t> id_of;
+  std::vector<std::string_view> distinct;  // First-seen order.
+  std::vector<int32_t> provisional;
+  provisional.reserve(raw.size());
+  for (const std::string& value : raw) {
+    const auto [it, inserted] = id_of.try_emplace(
+        std::string_view(value), static_cast<int32_t>(distinct.size()));
+    if (inserted) distinct.push_back(it->first);
+    provisional.push_back(it->second);
+  }
 
-  std::unordered_map<std::string, int32_t> code_of;
-  code_of.reserve(column.dictionary.size() * 2);
-  for (size_t i = 0; i < column.dictionary.size(); ++i) {
-    code_of.emplace(column.dictionary[i], static_cast<int32_t>(i));
+  std::vector<int32_t> by_rank(distinct.size());
+  std::iota(by_rank.begin(), by_rank.end(), 0);
+  std::sort(by_rank.begin(), by_rank.end(), [&](int32_t a, int32_t b) {
+    return distinct[static_cast<size_t>(a)] <
+           distinct[static_cast<size_t>(b)];
+  });
+  std::vector<int32_t> rank(distinct.size());
+  for (size_t i = 0; i < by_rank.size(); ++i) {
+    rank[static_cast<size_t>(by_rank[i])] = static_cast<int32_t>(i);
+  }
+
+  Column column;
+  column.dictionary.reserve(distinct.size());
+  for (const int32_t id : by_rank) {
+    column.dictionary.emplace_back(distinct[static_cast<size_t>(id)]);
   }
   column.codes.reserve(raw.size());
-  for (const std::string& value : raw) {
-    column.codes.push_back(code_of.at(value));
+  for (const int32_t id : provisional) {
+    column.codes.push_back(rank[static_cast<size_t>(id)]);
   }
   return column;
 }
@@ -62,18 +82,32 @@ ColumnSet Relation::ActiveColumns() const {
 }
 
 Relation Relation::SelectRows(const std::vector<RowId>& rows) const {
+  for (const RowId row : rows) {
+    MUDS_CHECK(row >= 0 && row < num_rows_);
+  }
   std::vector<Column> new_columns;
   new_columns.reserve(columns_.size());
   for (const Column& column : columns_) {
-    std::vector<std::string> raw;
-    raw.reserve(rows.size());
-    for (RowId row : rows) {
-      MUDS_CHECK(row >= 0 && row < num_rows_);
-      raw.push_back(
-          column.dictionary[static_cast<size_t>(
-              column.codes[static_cast<size_t>(row)])]);
+    // The old dictionary is already sorted, so the surviving values keep
+    // their relative order: remap old codes to their rank among the codes
+    // that actually occur — no strings are materialized or re-hashed.
+    std::vector<char> used(column.dictionary.size(), 0);
+    for (const RowId row : rows) {
+      used[static_cast<size_t>(column.codes[static_cast<size_t>(row)])] = 1;
     }
-    new_columns.push_back(EncodeColumn(raw));
+    Column new_column;
+    std::vector<int32_t> remap(column.dictionary.size(), 0);
+    for (size_t code = 0; code < used.size(); ++code) {
+      if (!used[code]) continue;
+      remap[code] = static_cast<int32_t>(new_column.dictionary.size());
+      new_column.dictionary.push_back(column.dictionary[code]);
+    }
+    new_column.codes.reserve(rows.size());
+    for (const RowId row : rows) {
+      new_column.codes.push_back(remap[static_cast<size_t>(
+          column.codes[static_cast<size_t>(row)])]);
+    }
+    new_columns.push_back(std::move(new_column));
   }
   return Relation(name_, column_names_, std::move(new_columns),
                   static_cast<RowId>(rows.size()));

@@ -28,8 +28,16 @@ std::vector<Ind> Spider::Discover(const Relation& relation) {
   };
   std::priority_queue<Cursor, std::vector<Cursor>, CursorGreater> heap;
   std::vector<size_t> position(static_cast<size_t>(n), 0);
+  // Resolve each column's sorted duplicate-free dictionary to a span once;
+  // the pop loop advances through these without re-reading the relation.
+  struct DictSpan {
+    const std::string* values;
+    size_t size;
+  };
+  std::vector<DictSpan> dicts(static_cast<size_t>(n));
   for (int c = 0; c < n; ++c) {
     const auto& dict = relation.GetColumn(c).dictionary;
+    dicts[static_cast<size_t>(c)] = DictSpan{dict.data(), dict.size()};
     if (!dict.empty()) heap.push(Cursor{dict[0], c});
   }
 
@@ -46,10 +54,10 @@ std::vector<Ind> Spider::Discover(const Relation& relation) {
     for (int c = group.First(); c >= 0; c = group.NextAtLeast(c + 1)) {
       candidates[static_cast<size_t>(c)] =
           candidates[static_cast<size_t>(c)].Intersect(group);
-      const auto& dict = relation.GetColumn(c).dictionary;
+      const DictSpan& dict = dicts[static_cast<size_t>(c)];
       ++cursor_advances;
-      if (++position[static_cast<size_t>(c)] < dict.size()) {
-        heap.push(Cursor{dict[position[static_cast<size_t>(c)]], c});
+      if (++position[static_cast<size_t>(c)] < dict.size) {
+        heap.push(Cursor{dict.values[position[static_cast<size_t>(c)]], c});
       }
     }
   }

@@ -57,6 +57,37 @@ TEST_P(CsvRoundTripTest, WriteReadIdentity) {
   }
 }
 
+TEST_P(CsvRoundTripTest, WriteReadIdentityUnderParallelChunkedIngest) {
+  // Same identity property through the buffered engine with adversarial
+  // chunk sizes and thread counts: chunk boundaries land inside quoted
+  // newlines, doubled quotes, and \r\n breaks of the serialized text.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 131 + 11);
+  const int cols = 1 + static_cast<int>(rng.NextBelow(5));
+  const int rows = static_cast<int>(rng.NextBelow(30));
+  std::vector<std::string> names;
+  for (int c = 0; c < cols; ++c) names.push_back("h" + RandomCell(&rng));
+  std::vector<std::vector<std::string>> data;
+  for (int r = 0; r < rows; ++r) {
+    std::vector<std::string> row;
+    for (int c = 0; c < cols; ++c) row.push_back(RandomCell(&rng));
+    data.push_back(std::move(row));
+  }
+  Relation original = Relation::FromRows(names, data);
+  const std::string text = CsvWriter::ToString(original);
+
+  CsvOptions options;
+  options.io = CsvIoMode::kBuffered;
+  options.num_threads = 1 + static_cast<int>(rng.NextBelow(8));
+  options.chunk_bytes = 1 + rng.NextBelow(text.size());
+  auto parsed = CsvReader::ReadString(text, options);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().NumRows(), original.NumRows());
+  EXPECT_EQ(parsed.value().ColumnNames(), original.ColumnNames());
+  for (RowId r = 0; r < original.NumRows(); ++r) {
+    EXPECT_EQ(parsed.value().Row(r), original.Row(r)) << "row " << r;
+  }
+}
+
 TEST_P(CsvRoundTripTest, WriteReadIdentityWithCustomSeparator) {
   Rng rng(static_cast<uint64_t>(GetParam()) * 101 + 3);
   CsvOptions options;

@@ -10,6 +10,10 @@
 //   --max-rows=N                          profile only the first N rows
 //   --null-token=S                        cells equal to S are NULL
 //   --null-unequal                        NULL != NULL semantics
+//   --io=buffered|stream                  ingest engine (default buffered:
+//                                         single-allocation read, parallel
+//                                         chunked parse; stream = the
+//                                         sequential reference scanner)
 //   --seed=N                              seed for randomized traversals
 //   --threads=N                           worker threads (0 = all hardware
 //                                         threads, default 1); results are
@@ -68,7 +72,8 @@ void PrintUsage(FILE* out) {
       "usage: muds_profile INPUT.csv [--algorithm=muds|hfun|baseline|auto]\n"
       "                    [--separator=C] [--no-header] [--max-rows=N]\n"
       "                    [--null-token=S] [--null-unequal] [--seed=N]\n"
-      "                    [--threads=N] [--pli-budget-mb=N] [--json]\n"
+      "                    [--io=buffered|stream] [--threads=N]\n"
+      "                    [--pli-budget-mb=N] [--json]\n"
       "                    [--output=FILE] [--quiet] [--metrics]\n"
       "                    [--trace=FILE] [--stats] [--soft-fds[=T]]\n");
 }
@@ -113,6 +118,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->profile.csv.null_token = arg.substr(13);
     } else if (arg == "--null-unequal") {
       options->profile.csv.nulls = NullSemantics::kNullUnequal;
+    } else if (arg.rfind("--io=", 0) == 0) {
+      const std::string mode = arg.substr(5);
+      if (mode == "buffered") {
+        options->profile.csv.io = CsvIoMode::kBuffered;
+      } else if (mode == "stream") {
+        options->profile.csv.io = CsvIoMode::kStream;
+      } else {
+        std::fprintf(stderr, "unknown io mode: %s\n", mode.c_str());
+        return false;
+      }
     } else if (arg.rfind("--seed=", 0) == 0) {
       options->profile.seed =
           static_cast<uint64_t>(std::strtoull(arg.c_str() + 7, nullptr, 10));
