@@ -1,0 +1,127 @@
+// Model-based fuzzer for SetTrie.
+//
+// The input is an op stream over a 12-column universe: each 3-byte step
+// encodes an operation and a column set. Every query result is compared
+// with a naive vector-of-sets model, and the stored contents are compared
+// after the run — so structural bugs (lost sets after Erase's branch
+// pruning, wrong subset/superset traversal cut-offs) surface as asserts.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "fuzz_util.h"
+#include "setops/column_set.h"
+#include "setops/set_trie.h"
+
+namespace {
+
+using namespace muds;
+
+constexpr int kUniverse = 12;
+
+ColumnSet DecodeSet(uint8_t low, uint8_t high) {
+  ColumnSet set;
+  const uint32_t bits =
+      static_cast<uint32_t>(low) | (static_cast<uint32_t>(high) << 8);
+  for (int c = 0; c < kUniverse; ++c) {
+    if (bits & (1u << c)) set.Add(c);
+  }
+  return set;
+}
+
+std::vector<ColumnSet> Sorted(std::vector<ColumnSet> sets) {
+  std::sort(sets.begin(), sets.end());
+  return sets;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  SetTrie trie;
+  std::vector<ColumnSet> model;
+
+  const auto model_find = [&](const ColumnSet& set) {
+    return std::find(model.begin(), model.end(), set);
+  };
+
+  for (size_t i = 0; i + 3 <= size; i += 3) {
+    const uint8_t op = data[i] % 9;
+    const ColumnSet set = DecodeSet(data[i + 1], data[i + 2]);
+    switch (op) {
+      case 0: {  // Insert
+        const bool fresh = model_find(set) == model.end();
+        if (fresh) model.push_back(set);
+        FUZZ_ASSERT(trie.Insert(set) == fresh);
+        break;
+      }
+      case 1: {  // Erase
+        const auto it = model_find(set);
+        const bool present = it != model.end();
+        if (present) model.erase(it);
+        FUZZ_ASSERT(trie.Erase(set) == present);
+        break;
+      }
+      case 2:  // Contains
+        FUZZ_ASSERT(trie.Contains(set) == (model_find(set) != model.end()));
+        break;
+      case 3: {  // ContainsSubsetOf
+        const bool expected =
+            std::any_of(model.begin(), model.end(), [&](const ColumnSet& s) {
+              return s.IsSubsetOf(set);
+            });
+        FUZZ_ASSERT(trie.ContainsSubsetOf(set) == expected);
+        break;
+      }
+      case 4: {  // ContainsSupersetOf
+        const bool expected =
+            std::any_of(model.begin(), model.end(), [&](const ColumnSet& s) {
+              return set.IsSubsetOf(s);
+            });
+        FUZZ_ASSERT(trie.ContainsSupersetOf(set) == expected);
+        break;
+      }
+      case 5: {  // CollectSubsetsOf
+        std::vector<ColumnSet> expected;
+        for (const ColumnSet& s : model) {
+          if (s.IsSubsetOf(set)) expected.push_back(s);
+        }
+        FUZZ_ASSERT(Sorted(trie.CollectSubsetsOf(set)) == Sorted(expected));
+        break;
+      }
+      case 6: {  // CollectSupersetsOf
+        std::vector<ColumnSet> expected;
+        for (const ColumnSet& s : model) {
+          if (set.IsSubsetOf(s)) expected.push_back(s);
+        }
+        FUZZ_ASSERT(Sorted(trie.CollectSupersetsOf(set)) == Sorted(expected));
+        break;
+      }
+      case 7: {  // FindSupersetOf
+        ColumnSet witness;
+        const bool found = trie.FindSupersetOf(set, &witness);
+        const bool expected =
+            std::any_of(model.begin(), model.end(), [&](const ColumnSet& s) {
+              return set.IsSubsetOf(s);
+            });
+        FUZZ_ASSERT(found == expected);
+        if (found) {
+          FUZZ_ASSERT(set.IsSubsetOf(witness));
+          FUZZ_ASSERT(model_find(witness) != model.end());
+        }
+        break;
+      }
+      case 8:  // Clear, rarely: only when the low set byte opts in.
+        if (data[i + 1] == 0xff) {
+          trie.Clear();
+          model.clear();
+        }
+        break;
+    }
+    FUZZ_ASSERT(trie.Size() == model.size());
+    FUZZ_ASSERT(trie.IsEmpty() == model.empty());
+  }
+
+  FUZZ_ASSERT(Sorted(trie.CollectAll()) == Sorted(model));
+  return 0;
+}

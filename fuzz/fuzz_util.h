@@ -1,0 +1,19 @@
+#ifndef MUDS_FUZZ_FUZZ_UTIL_H_
+#define MUDS_FUZZ_FUZZ_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Fuzz-target assertion: prints the failed condition and aborts, so both
+// libFuzzer and the standalone driver register a crash and keep the
+// offending input.
+#define FUZZ_ASSERT(condition)                                          \
+  do {                                                                  \
+    if (!(condition)) {                                                 \
+      std::fprintf(stderr, "FUZZ_ASSERT failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, #condition);                     \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (false)
+
+#endif  // MUDS_FUZZ_FUZZ_UTIL_H_

@@ -1,0 +1,157 @@
+// Standalone driver for the fuzz targets on toolchains without libFuzzer
+// (gcc). Speaks enough of the libFuzzer CLI that the same invocation works
+// in both modes:
+//
+//   fuzz_x CORPUS_DIR... [-max_total_time=SECONDS] [-runs=N] [-seed=N]
+//
+// Every corpus input is replayed once; the remaining budget runs a
+// random-mutation loop (bit flips, byte edits, inserts, erases, truncation,
+// two-input splices) seeded from the corpus. Bugs surface as sanitizer
+// reports or aborts from the target's assertions, exactly as under
+// libFuzzer — only coverage feedback and corpus growth are missing.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+// xorshift64*: no dependency on the library under test.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545f4914f6cdd1dULL;
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+std::vector<uint8_t> Mutate(const std::vector<std::vector<uint8_t>>& corpus,
+                            uint64_t* rng) {
+  std::vector<uint8_t> input;
+  if (!corpus.empty()) {
+    input = corpus[NextRandom(rng) % corpus.size()];
+  }
+  const int mutations = 1 + static_cast<int>(NextRandom(rng) % 8);
+  for (int i = 0; i < mutations; ++i) {
+    switch (NextRandom(rng) % 6) {
+      case 0:  // flip a bit
+        if (!input.empty()) {
+          input[NextRandom(rng) % input.size()] ^=
+              static_cast<uint8_t>(1u << (NextRandom(rng) % 8));
+        }
+        break;
+      case 1:  // overwrite a byte
+        if (!input.empty()) {
+          input[NextRandom(rng) % input.size()] =
+              static_cast<uint8_t>(NextRandom(rng));
+        }
+        break;
+      case 2:  // insert a byte
+        input.insert(input.begin() +
+                         static_cast<ptrdiff_t>(
+                             input.empty() ? 0 : NextRandom(rng) %
+                                                     (input.size() + 1)),
+                     static_cast<uint8_t>(NextRandom(rng)));
+        break;
+      case 3:  // erase a byte
+        if (!input.empty()) {
+          input.erase(input.begin() +
+                      static_cast<ptrdiff_t>(NextRandom(rng) % input.size()));
+        }
+        break;
+      case 4:  // truncate
+        if (!input.empty()) {
+          input.resize(NextRandom(rng) % input.size());
+        }
+        break;
+      case 5:  // splice a random corpus tail
+        if (!corpus.empty()) {
+          const std::vector<uint8_t>& other =
+              corpus[NextRandom(rng) % corpus.size()];
+          if (!other.empty()) {
+            const size_t from = NextRandom(rng) % other.size();
+            const size_t cut =
+                input.empty() ? 0 : NextRandom(rng) % (input.size() + 1);
+            input.resize(cut);
+            input.insert(input.end(), other.begin() +
+                                          static_cast<ptrdiff_t>(from),
+                         other.end());
+          }
+        }
+        break;
+    }
+  }
+  if (input.size() > 1 << 16) input.resize(1 << 16);
+  return input;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long max_total_time = 10;  // seconds
+  long long max_runs = -1;
+  uint64_t rng = 0x9e3779b97f4a7c15ULL;
+  std::vector<std::vector<uint8_t>> corpus;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-max_total_time=", 0) == 0) {
+      max_total_time = std::atoll(arg.c_str() + 16);
+    } else if (arg.rfind("-runs=", 0) == 0) {
+      max_runs = std::atoll(arg.c_str() + 6);
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      rng ^= static_cast<uint64_t>(std::atoll(arg.c_str() + 6));
+    } else if (!arg.empty() && arg[0] == '-') {
+      // Ignore other libFuzzer flags so shared CI invocations keep working.
+    } else {
+      std::filesystem::path path(arg);
+      std::error_code ec;
+      if (std::filesystem::is_directory(path, ec)) {
+        for (const auto& entry :
+             std::filesystem::recursive_directory_iterator(path, ec)) {
+          if (entry.is_regular_file()) {
+            corpus.push_back(ReadFileBytes(entry.path()));
+          }
+        }
+      } else if (std::filesystem::is_regular_file(path, ec)) {
+        corpus.push_back(ReadFileBytes(path));
+      } else {
+        std::fprintf(stderr, "standalone fuzzer: cannot read %s\n",
+                     arg.c_str());
+        return 1;
+      }
+    }
+  }
+
+  long long runs = 0;
+  for (const std::vector<uint8_t>& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++runs;
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(max_total_time);
+  while (std::chrono::steady_clock::now() < deadline &&
+         (max_runs < 0 || runs < max_runs)) {
+    const std::vector<uint8_t> input = Mutate(corpus, &rng);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++runs;
+  }
+  std::fprintf(stderr, "standalone fuzzer: %lld runs, no failures\n", runs);
+  return 0;
+}

@@ -1,0 +1,220 @@
+#include "testing/reference.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace muds {
+
+namespace {
+
+// Appends the 4 raw bytes of `code` to `key`. Codes index the column's
+// duplicate-free dictionary, so code equality is value equality and the
+// fixed width makes concatenated keys collision-free across columns.
+void AppendCode(int32_t code, std::string* key) {
+  char bytes[sizeof(code)];
+  std::memcpy(bytes, &code, sizeof(code));
+  key->append(bytes, sizeof(code));
+}
+
+std::string RowKey(const Relation& relation, RowId row,
+                   const std::vector<int>& columns) {
+  std::string key;
+  key.reserve(columns.size() * sizeof(int32_t));
+  for (int c : columns) AppendCode(relation.Code(row, c), &key);
+  return key;
+}
+
+// First occurrence of every distinct row, in input order — the §3
+// duplicate-removal preprocessing, by definition.
+Relation DeduplicateByDefinition(const Relation& relation) {
+  std::vector<int> all_columns;
+  for (int c = 0; c < relation.NumColumns(); ++c) all_columns.push_back(c);
+  std::unordered_set<std::string> seen;
+  std::vector<RowId> keep;
+  for (RowId row = 0; row < relation.NumRows(); ++row) {
+    if (seen.insert(RowKey(relation, row, all_columns)).second) {
+      keep.push_back(row);
+    }
+  }
+  if (static_cast<RowId>(keep.size()) == relation.NumRows()) return relation;
+  return relation.SelectRows(keep);
+}
+
+// True if some set in `minimal` is a subset of `candidate`. The deliberate
+// O(k) vector scan keeps the oracle free of the set-trie machinery the
+// engines (and the fuzzers) exercise.
+bool CoveredByMinimal(const std::vector<ColumnSet>& minimal,
+                      const ColumnSet& candidate) {
+  for (const ColumnSet& set : minimal) {
+    if (set.IsSubsetOf(candidate)) return true;
+  }
+  return false;
+}
+
+// Columns with at least two distinct values, derived from the instance
+// rather than taken from Relation::ActiveColumns().
+std::vector<int> ActiveColumnsByDefinition(const Relation& relation) {
+  std::vector<int> active;
+  for (int c = 0; c < relation.NumColumns(); ++c) {
+    const std::vector<int> one = {c};
+    std::unordered_set<std::string> values;
+    bool multi = false;
+    for (RowId row = 0; row < relation.NumRows() && !multi; ++row) {
+      values.insert(RowKey(relation, row, one));
+      multi = values.size() > 1;
+    }
+    if (multi) active.push_back(c);
+  }
+  return active;
+}
+
+// Level-wise minimal-set search over `active` \ `excluded`: collects every
+// inclusion-minimal column set satisfying `holds`. `holds` must be monotone
+// (supersets of a holding set hold), which UCCs and FD left-hand sides are.
+template <typename Predicate>
+std::vector<ColumnSet> MinimalSatisfyingSets(const std::vector<int>& active,
+                                             int excluded,
+                                             const Predicate& holds) {
+  std::vector<ColumnSet> minimal;
+  const int n = static_cast<int>(active.size());
+  std::vector<std::vector<int>> level = {{}};
+  for (int size = 1; size <= n; ++size) {
+    std::vector<std::vector<int>> next;
+    for (const std::vector<int>& base : level) {
+      const int first = base.empty() ? 0 : base.back() + 1;
+      for (int i = first; i < n; ++i) {
+        if (active[static_cast<size_t>(i)] == excluded) continue;
+        std::vector<int> candidate = base;
+        candidate.push_back(i);
+        ColumnSet set;
+        for (int j : candidate) set.Add(active[static_cast<size_t>(j)]);
+        if (CoveredByMinimal(minimal, set)) continue;
+        if (holds(set)) {
+          minimal.push_back(set);
+        } else {
+          next.push_back(std::move(candidate));
+        }
+      }
+    }
+    level = std::move(next);
+  }
+  return minimal;
+}
+
+void CheckOracleSize(const Relation& relation, size_t active_columns) {
+  MUDS_CHECK_MSG(active_columns <=
+                     static_cast<size_t>(ReferenceProfiler::kMaxActiveColumns),
+                 "ReferenceProfiler is an oracle for small relations only");
+  (void)relation;
+}
+
+}  // namespace
+
+bool ReferenceProfiler::HoldsUcc(const Relation& relation,
+                                 const ColumnSet& columns) {
+  const std::vector<int> indices = columns.ToIndices();
+  std::unordered_set<std::string> seen;
+  seen.reserve(static_cast<size_t>(relation.NumRows()));
+  for (RowId row = 0; row < relation.NumRows(); ++row) {
+    if (!seen.insert(RowKey(relation, row, indices)).second) return false;
+  }
+  return true;
+}
+
+bool ReferenceProfiler::HoldsFd(const Relation& relation, const ColumnSet& lhs,
+                                int rhs) {
+  const std::vector<int> indices = lhs.ToIndices();
+  std::unordered_map<std::string, int32_t> rhs_of;
+  rhs_of.reserve(static_cast<size_t>(relation.NumRows()));
+  for (RowId row = 0; row < relation.NumRows(); ++row) {
+    const int32_t value = relation.Code(row, rhs);
+    auto [it, inserted] = rhs_of.emplace(RowKey(relation, row, indices), value);
+    if (!inserted && it->second != value) return false;
+  }
+  return true;
+}
+
+bool ReferenceProfiler::HoldsInd(const Relation& relation, int dependent,
+                                 int referenced) {
+  std::unordered_set<std::string> referenced_values;
+  for (RowId row = 0; row < relation.NumRows(); ++row) {
+    referenced_values.insert(relation.Value(row, referenced));
+  }
+  for (RowId row = 0; row < relation.NumRows(); ++row) {
+    if (referenced_values.count(relation.Value(row, dependent)) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Ind> ReferenceProfiler::DiscoverInds(const Relation& relation) {
+  std::vector<Ind> inds;
+  for (int a = 0; a < relation.NumColumns(); ++a) {
+    for (int b = 0; b < relation.NumColumns(); ++b) {
+      if (a == b) continue;
+      if (HoldsInd(relation, a, b)) inds.push_back(Ind{a, b});
+    }
+  }
+  Canonicalize(&inds);
+  return inds;
+}
+
+std::vector<ColumnSet> ReferenceProfiler::DiscoverUccs(
+    const Relation& relation) {
+  if (relation.NumRows() <= 1) return {ColumnSet()};
+  const std::vector<int> active = ActiveColumnsByDefinition(relation);
+  CheckOracleSize(relation, active.size());
+  // No minimal UCC contains a constant column (dropping it cannot create a
+  // duplicate projection), so enumerating over the active columns loses
+  // nothing.
+  std::vector<ColumnSet> uccs =
+      MinimalSatisfyingSets(active, /*excluded=*/-1, [&](const ColumnSet& s) {
+        return HoldsUcc(relation, s);
+      });
+  Canonicalize(&uccs);
+  return uccs;
+}
+
+std::vector<Fd> ReferenceProfiler::DiscoverFds(const Relation& relation) {
+  std::vector<Fd> fds;
+  const std::vector<int> active = ActiveColumnsByDefinition(relation);
+  CheckOracleSize(relation, active.size());
+  // Constant columns: ∅ → A holds and is trivially minimal; conversely a
+  // minimal FD never has a constant column on its left-hand side, nor a
+  // constant right-hand side with a non-empty lhs.
+  {
+    ColumnSet active_set;
+    for (int c : active) active_set.Add(c);
+    for (int c = 0; c < relation.NumColumns(); ++c) {
+      if (!active_set.Contains(c)) fds.push_back(Fd{ColumnSet(), c});
+    }
+  }
+  for (int rhs : active) {
+    for (const ColumnSet& lhs :
+         MinimalSatisfyingSets(active, rhs, [&](const ColumnSet& s) {
+           return HoldsFd(relation, s, rhs);
+         })) {
+      fds.push_back(Fd{lhs, rhs});
+    }
+  }
+  Canonicalize(&fds);
+  return fds;
+}
+
+ReferenceResult ReferenceProfiler::Profile(const Relation& relation) {
+  ReferenceResult result;
+  result.inds = DiscoverInds(relation);
+  const Relation deduplicated = DeduplicateByDefinition(relation);
+  result.uccs = DiscoverUccs(deduplicated);
+  result.fds = DiscoverFds(deduplicated);
+  return result;
+}
+
+}  // namespace muds

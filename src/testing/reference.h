@@ -1,0 +1,68 @@
+#ifndef MUDS_TESTING_REFERENCE_H_
+#define MUDS_TESTING_REFERENCE_H_
+
+#include <vector>
+
+#include "data/metadata.h"
+#include "data/relation.h"
+#include "setops/column_set.h"
+
+namespace muds {
+
+/// All three metadata types of one relation, recomputed by the reference
+/// profiler.
+struct ReferenceResult {
+  std::vector<Ind> inds;
+  std::vector<ColumnSet> uccs;
+  std::vector<Fd> fds;
+};
+
+/// Brute-force reference profiler: discovers unary INDs, minimal UCCs, and
+/// minimal FDs directly from the §2 definitions, sharing *nothing* with the
+/// production engines — no PLIs, no set tries, no cardinality inference.
+///
+/// Dependency checks hash raw projections (UCC: is any row projection
+/// duplicated; FD: is the rhs constant per lhs projection; IND: is the
+/// dependent's distinct value set contained in the referenced one), and
+/// minimality comes from plain level-wise enumeration of the candidate
+/// lattice with vector-scan subset pruning. Everything is exponential in
+/// the column count and quadratic-ish in rows: this is the correctness
+/// oracle the differential harness (tools/muds_diff, the differential
+/// tests) diffs every engine against, usable up to ~20 active columns and
+/// a few thousand rows.
+class ReferenceProfiler {
+ public:
+  /// Most active columns a relation may have before Profile() refuses
+  /// (MUDS_CHECK): past this, the lattice enumeration stops being a
+  /// practical oracle.
+  static constexpr int kMaxActiveColumns = 20;
+
+  /// Profiles `relation` the way ProfileRelation() does: INDs over the
+  /// instance as given, then duplicate rows removed (by definition: first
+  /// occurrence of each distinct string row wins) before the UCC/FD
+  /// discovery, matching the §3 preprocessing contract of every engine.
+  static ReferenceResult Profile(const Relation& relation);
+
+  /// All valid unary INDs a ⊆ b (a != b), in canonical order.
+  static std::vector<Ind> DiscoverInds(const Relation& relation);
+
+  /// All minimal UCCs, in canonical order. Expects a duplicate-row-free
+  /// relation; a relation with fewer than two rows has the minimal UCC ∅.
+  static std::vector<ColumnSet> DiscoverUccs(const Relation& relation);
+
+  /// All minimal FDs (including ∅ → A for constant columns), in canonical
+  /// order. Expects a duplicate-row-free relation.
+  static std::vector<Fd> DiscoverFds(const Relation& relation);
+
+  /// Definition checks, exposed so property tests can verify any reported
+  /// (or mutated) dependency independently of the discovery loops above.
+  static bool HoldsUcc(const Relation& relation, const ColumnSet& columns);
+  static bool HoldsFd(const Relation& relation, const ColumnSet& lhs,
+                      int rhs);
+  static bool HoldsInd(const Relation& relation, int dependent,
+                       int referenced);
+};
+
+}  // namespace muds
+
+#endif  // MUDS_TESTING_REFERENCE_H_

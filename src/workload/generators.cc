@@ -418,6 +418,206 @@ std::vector<UciProfile> UciProfiles() {
   return profiles;
 }
 
+std::string AdversarialParams::ToString() const {
+  std::string out;
+  out += "cols=" + std::to_string(cols);
+  out += " rows=" + std::to_string(rows);
+  out += " seed=" + std::to_string(seed);
+  out += " null_fraction=" + std::to_string(null_fraction);
+  out += " duplicate_fraction=" + std::to_string(duplicate_fraction);
+  out += " num_constant=" + std::to_string(num_constant);
+  out += " num_near_unique=" + std::to_string(num_near_unique);
+  out += " num_correlated=" + std::to_string(num_correlated);
+  out += " max_cardinality=" + std::to_string(max_cardinality);
+  return out;
+}
+
+AdversarialParams SampleAdversarialParams(uint64_t seed, int max_cols,
+                                          int64_t max_rows) {
+  MUDS_CHECK(max_cols >= 2 && max_rows >= 2);
+  Rng rng(Mix(seed, 0x4adf00d));
+  AdversarialParams params;
+  params.seed = Mix(seed, 0x5eed);
+
+  // Wide schemas are one of the adversarial regimes: a quarter of the
+  // draws use the full column budget.
+  params.cols = rng.NextBool(0.25)
+                    ? max_cols
+                    : static_cast<int>(rng.NextInRange(2, max_cols));
+
+  // Occasional degenerate row counts (empty, single-row, tiny) exercise the
+  // ∅-UCC and all-constant paths; otherwise rows are log-uniform so small
+  // fast instances dominate without starving the large ones.
+  if (rng.NextBool(0.06)) {
+    params.rows = rng.NextInRange(0, 2);
+  } else {
+    const double log_max = std::log(static_cast<double>(max_rows));
+    const double log_min = std::log(5.0);
+    params.rows = static_cast<int64_t>(
+        std::exp(log_min + (log_max - log_min) * rng.NextDouble()));
+    params.rows = std::min(params.rows, max_rows);
+  }
+
+  params.null_fraction =
+      rng.NextBool(0.4) ? 0.0
+                        : (rng.NextBool(0.2) ? 0.9 : 0.4 * rng.NextDouble());
+  params.duplicate_fraction = rng.NextBool(0.5) ? 0.0 : 0.3 * rng.NextDouble();
+  // Structured columns, clamped so that the plan never asks for more
+  // columns than exist — the params must describe exactly what gets built,
+  // or mismatch reproducers would lie about the instance.
+  params.num_constant = static_cast<int>(rng.NextInRange(0, 2));
+  params.num_near_unique = static_cast<int>(rng.NextInRange(0, 2));
+  params.num_correlated = static_cast<int>(rng.NextBelow(
+      static_cast<uint64_t>(params.cols / 2) + 1));
+  params.num_constant = std::min(params.num_constant, params.cols);
+  params.num_near_unique =
+      std::min(params.num_near_unique, params.cols - params.num_constant);
+  params.num_correlated = std::min(
+      params.num_correlated,
+      params.cols - params.num_constant - params.num_near_unique);
+  params.max_cardinality = rng.NextBool(0.15)
+                               ? rng.NextInRange(9, 64)
+                               : rng.NextInRange(1, 8);
+  return params;
+}
+
+Relation MakeAdversarial(const AdversarialParams& params) {
+  MUDS_CHECK(params.cols >= 1 && params.rows >= 0);
+  MUDS_CHECK(params.max_cardinality >= 1);
+  const int cols = params.cols;
+  const int64_t rows = params.rows;
+  Rng rng(Mix(params.seed, 0xad7e25a));
+
+  // Column plan: constants first, then near-unique, then correlated (their
+  // sources must exist), then plain categoricals; shuffled would hide the
+  // shape from reproducer output, so the order is fixed and documented by
+  // the column names.
+  enum class Plan { kConstant, kNearUnique, kCorrelated, kCategorical };
+  std::vector<Plan> plan;
+  std::vector<int64_t> cardinality(static_cast<size_t>(cols), 1);
+  std::vector<int> source(static_cast<size_t>(cols), -1);
+  std::vector<bool> renamed(static_cast<size_t>(cols), false);
+  std::vector<std::string> names;
+  for (int c = 0; c < cols; ++c) {
+    Plan p = Plan::kCategorical;
+    if (c < params.num_constant) {
+      p = Plan::kConstant;
+    } else if (c < params.num_constant + params.num_near_unique) {
+      p = Plan::kNearUnique;
+    } else if (c > 0 &&
+               c < params.num_constant + params.num_near_unique +
+                       params.num_correlated) {
+      p = Plan::kCorrelated;
+    }
+    plan.push_back(p);
+    switch (p) {
+      case Plan::kConstant:
+        cardinality[static_cast<size_t>(c)] = 1;
+        names.push_back("const" + std::to_string(c));
+        break;
+      case Plan::kNearUnique:
+        // Within one of the row count: sometimes a key, sometimes one
+        // duplicated value away from one.
+        cardinality[static_cast<size_t>(c)] =
+            std::max<int64_t>(1, rows - rng.NextInRange(0, 1));
+        names.push_back("nu" + std::to_string(c));
+        break;
+      case Plan::kCorrelated:
+        source[static_cast<size_t>(c)] =
+            static_cast<int>(rng.NextBelow(static_cast<uint64_t>(c)));
+        renamed[static_cast<size_t>(c)] = rng.NextBool(0.5);
+        cardinality[static_cast<size_t>(c)] =
+            renamed[static_cast<size_t>(c)]
+                ? 0  // mirrors the source's codes
+                : rng.NextInRange(1, std::max<int64_t>(
+                                         1, params.max_cardinality / 2 + 1));
+        names.push_back("corr" + std::to_string(c));
+        break;
+      case Plan::kCategorical:
+        cardinality[static_cast<size_t>(c)] =
+            rng.NextInRange(1, params.max_cardinality);
+        names.push_back("cat" + std::to_string(c));
+        break;
+    }
+  }
+
+  // Cell codes, column-major so correlated columns can read their source.
+  std::vector<std::vector<int64_t>> codes(
+      static_cast<size_t>(cols),
+      std::vector<int64_t>(static_cast<size_t>(rows)));
+  for (int c = 0; c < cols; ++c) {
+    const uint64_t salt = Mix(params.seed, static_cast<uint64_t>(c) + 7777);
+    for (int64_t row = 0; row < rows; ++row) {
+      int64_t value = 0;
+      switch (plan[static_cast<size_t>(c)]) {
+        case Plan::kConstant:
+          value = 0;
+          break;
+        case Plan::kNearUnique: {
+          // A permutation-ish draw: row index folded over the cardinality
+          // keeps the column near-unique deterministically.
+          const int64_t card = cardinality[static_cast<size_t>(c)];
+          value = row % card;
+          break;
+        }
+        case Plan::kCorrelated: {
+          const int64_t src =
+              codes[static_cast<size_t>(source[static_cast<size_t>(c)])]
+                   [static_cast<size_t>(row)];
+          if (renamed[static_cast<size_t>(c)]) {
+            value = src;  // bijective: FDs in both directions
+          } else {
+            value = static_cast<int64_t>(
+                Mix(salt, static_cast<uint64_t>(src)) %
+                static_cast<uint64_t>(cardinality[static_cast<size_t>(c)]));
+          }
+          break;
+        }
+        case Plan::kCategorical:
+          value = static_cast<int64_t>(rng.NextBelow(
+              static_cast<uint64_t>(cardinality[static_cast<size_t>(c)])));
+          break;
+      }
+      codes[static_cast<size_t>(c)][static_cast<size_t>(row)] = value;
+    }
+  }
+
+  // Materialize cells; NULLs (empty cells) are applied per cell, before
+  // duplication, so duplicate rows stay exact duplicates.
+  std::vector<std::vector<std::string>> cells(
+      static_cast<size_t>(rows),
+      std::vector<std::string>(static_cast<size_t>(cols)));
+  for (int64_t row = 0; row < rows; ++row) {
+    for (int c = 0; c < cols; ++c) {
+      if (params.null_fraction > 0.0 && rng.NextBool(params.null_fraction)) {
+        continue;  // empty cell = NULL token
+      }
+      const int64_t code = codes[static_cast<size_t>(c)][static_cast<size_t>(row)];
+      std::string& cell = cells[static_cast<size_t>(row)][static_cast<size_t>(c)];
+      if (renamed[static_cast<size_t>(c)]) {
+        cell = "r" + std::to_string(c) + "_" + std::to_string(code);
+      } else {
+        cell = "v" + std::to_string(code);
+      }
+    }
+  }
+  const int64_t duplicates = static_cast<int64_t>(
+      params.duplicate_fraction * static_cast<double>(rows));
+  for (int64_t i = 0; i < duplicates && rows > 1; ++i) {
+    const int64_t dst = rows - 1 - i;
+    if (dst <= 0) break;
+    const int64_t src =
+        static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(dst)));
+    cells[static_cast<size_t>(dst)] = cells[static_cast<size_t>(src)];
+  }
+
+  RelationBuilder builder(names, "adversarial");
+  for (int64_t row = 0; row < rows; ++row) {
+    builder.AddRow(cells[static_cast<size_t>(row)]);
+  }
+  return std::move(builder).Build();
+}
+
 Relation MakeUciLike(const UciProfile& profile, uint64_t seed,
                      int64_t rows_override) {
   if (rows_override < 0 || rows_override >= profile.rows) {

@@ -83,6 +83,47 @@ Relation MakeIonosphereLike(int64_t rows, int cols, uint64_t seed);
 /// produce a heavy shadowed-FD phase.
 Relation MakeNcvoterLike(int64_t rows, int cols, uint64_t seed);
 
+/// Parameters of one adversarial relation for the differential harness
+/// (tools/muds_diff, the reference-oracle property tests). Each knob plants
+/// a shape that has historically broken profiling engines: NULL-heavy cells
+/// (empty-string collisions), constant columns (∅-lhs FDs), duplicate rows
+/// (the §3 dedup path), near-unique columns (keys and near-keys), wide
+/// schemas (lattice height), and correlated column pairs (renamed/derived
+/// columns that plant FDs in one or both directions).
+struct AdversarialParams {
+  int cols = 4;
+  int64_t rows = 100;
+  uint64_t seed = 1;
+  /// Per-cell probability of the NULL token (the empty string).
+  double null_fraction = 0.0;
+  /// Fraction of rows that are verbatim copies of earlier rows.
+  double duplicate_fraction = 0.0;
+  /// Leading columns that hold a single constant value.
+  int num_constant = 0;
+  /// Columns whose cardinality is within one of the row count.
+  int num_near_unique = 0;
+  /// Columns that rename or coarsen an earlier column (planted FDs).
+  int num_correlated = 0;
+  /// Cardinality bound for the plain categorical columns (>= 1; low values
+  /// push minimal UCCs and FD left-hand sides up the lattice).
+  int64_t max_cardinality = 4;
+
+  /// One-line "key=value" rendering for mismatch reproducers.
+  std::string ToString() const;
+};
+
+/// Draws a parameter point covering the adversarial regimes above.
+/// Deterministic in `seed`; `max_cols`/`max_rows` bound the instance (the
+/// reference oracle is exponential in columns). Includes occasional empty
+/// and single-row relations.
+AdversarialParams SampleAdversarialParams(uint64_t seed, int max_cols,
+                                          int64_t max_rows);
+
+/// Materializes the relation for `params`. Deterministic in `params.seed`;
+/// the instance round-trips through CsvWriter/CsvReader unchanged (values
+/// avoid the CSV metacharacters, NULLs are empty cells).
+Relation MakeAdversarial(const AdversarialParams& params);
+
 /// One row of Table 3: a named UCI dataset profile.
 struct UciProfile {
   std::string name;

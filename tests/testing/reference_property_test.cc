@@ -1,0 +1,90 @@
+// Self-consistency property test for the reference profiler (the oracle the
+// whole differential harness leans on): on seeded adversarial relations,
+// every reported dependency must hold by definition, every reported minimal
+// FD/UCC must have only failing generalizations, and no valid unary IND may
+// be missing. The checks go through HoldsUcc/HoldsFd/HoldsInd, which are
+// separate code paths from the discovery enumeration, so the oracle is not
+// graded with its own pencil.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "data/preprocess.h"
+#include "data/relation.h"
+#include "setops/column_set.h"
+#include "testing/reference.h"
+#include "workload/generators.h"
+
+namespace muds {
+namespace {
+
+constexpr uint64_t kNumSeeds = 50;
+
+TEST(ReferencePropertyTest, MinimalFdsHoldAndGeneralizationsFail) {
+  for (uint64_t seed = 1; seed <= kNumSeeds; ++seed) {
+    const AdversarialParams params = SampleAdversarialParams(seed, 7, 250);
+    const Relation relation =
+        DeduplicateRows(MakeAdversarial(params)).relation;
+    SCOPED_TRACE(params.ToString());
+    const std::vector<Fd> fds = ReferenceProfiler::DiscoverFds(relation);
+    for (const Fd& fd : fds) {
+      EXPECT_TRUE(ReferenceProfiler::HoldsFd(relation, fd.lhs, fd.rhs))
+          << "reported FD does not hold, rhs=" << fd.rhs;
+      // Minimality: removing any single lhs column must break the FD.
+      for (int c = fd.lhs.First(); c >= 0; c = fd.lhs.NextAtLeast(c + 1)) {
+        ColumnSet generalization = fd.lhs;
+        generalization.Remove(c);
+        EXPECT_FALSE(
+            ReferenceProfiler::HoldsFd(relation, generalization, fd.rhs))
+            << "non-minimal FD: lhs minus column " << c
+            << " still determines rhs=" << fd.rhs;
+      }
+    }
+  }
+}
+
+TEST(ReferencePropertyTest, MinimalUccsHoldAndGeneralizationsFail) {
+  for (uint64_t seed = 1; seed <= kNumSeeds; ++seed) {
+    const AdversarialParams params = SampleAdversarialParams(seed, 7, 250);
+    const Relation relation =
+        DeduplicateRows(MakeAdversarial(params)).relation;
+    SCOPED_TRACE(params.ToString());
+    const std::vector<ColumnSet> uccs =
+        ReferenceProfiler::DiscoverUccs(relation);
+    EXPECT_FALSE(uccs.empty())
+        << "a duplicate-free relation always has at least one minimal UCC";
+    for (const ColumnSet& ucc : uccs) {
+      EXPECT_TRUE(ReferenceProfiler::HoldsUcc(relation, ucc));
+      for (int c = ucc.First(); c >= 0; c = ucc.NextAtLeast(c + 1)) {
+        ColumnSet generalization = ucc;
+        generalization.Remove(c);
+        EXPECT_FALSE(ReferenceProfiler::HoldsUcc(relation, generalization))
+            << "non-minimal UCC: still unique without column " << c;
+      }
+    }
+  }
+}
+
+TEST(ReferencePropertyTest, IndsAreExactlyTheValidOrderedPairs) {
+  for (uint64_t seed = 1; seed <= kNumSeeds; ++seed) {
+    const AdversarialParams params = SampleAdversarialParams(seed, 7, 250);
+    const Relation relation = MakeAdversarial(params);
+    SCOPED_TRACE(params.ToString());
+    const std::vector<Ind> inds = ReferenceProfiler::DiscoverInds(relation);
+    // Soundness and completeness in one sweep over all ordered pairs.
+    std::vector<Ind> expected;
+    for (int a = 0; a < relation.NumColumns(); ++a) {
+      for (int b = 0; b < relation.NumColumns(); ++b) {
+        if (a != b && ReferenceProfiler::HoldsInd(relation, a, b)) {
+          expected.push_back({a, b});
+        }
+      }
+    }
+    EXPECT_EQ(inds, expected);
+  }
+}
+
+}  // namespace
+}  // namespace muds

@@ -92,6 +92,69 @@ TEST(GeneratorsTest, NamedGeneratorsProduceRequestedShapes) {
   EXPECT_EQ(ncvoter.NumColumns(), 24);
 }
 
+TEST(GeneratorsTest, AdversarialIsDeterministicInParams) {
+  const AdversarialParams params = SampleAdversarialParams(7, 10, 500);
+  const Relation a = MakeAdversarial(params);
+  const Relation b = MakeAdversarial(params);
+  ASSERT_EQ(a.NumRows(), b.NumRows());
+  ASSERT_EQ(a.NumColumns(), b.NumColumns());
+  for (RowId row = 0; row < a.NumRows(); ++row) {
+    EXPECT_EQ(a.Row(row), b.Row(row));
+  }
+}
+
+TEST(GeneratorsTest, AdversarialSamplerStaysInBounds) {
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    const AdversarialParams params = SampleAdversarialParams(seed, 10, 500);
+    EXPECT_GE(params.cols, 2);
+    EXPECT_LE(params.cols, 10);
+    EXPECT_GE(params.rows, 0);
+    EXPECT_LE(params.rows, 500);
+    EXPECT_GE(params.null_fraction, 0.0);
+    EXPECT_LT(params.null_fraction, 1.0);
+    EXPECT_GE(params.duplicate_fraction, 0.0);
+    EXPECT_LT(params.duplicate_fraction, 1.0);
+    EXPECT_LE(params.num_constant + params.num_near_unique +
+                  params.num_correlated,
+              params.cols);
+    const Relation r = MakeAdversarial(params);
+    EXPECT_EQ(r.NumColumns(), params.cols);
+    EXPECT_EQ(r.NumRows(), params.rows);
+  }
+}
+
+TEST(GeneratorsTest, AdversarialHonorsStructuredColumns) {
+  AdversarialParams params;
+  params.cols = 6;
+  params.rows = 300;
+  params.seed = 11;
+  params.num_constant = 2;
+  params.num_near_unique = 1;
+  params.num_correlated = 1;
+  const Relation r = MakeAdversarial(params);
+  EXPECT_TRUE(r.IsConstantColumn(0));
+  EXPECT_TRUE(r.IsConstantColumn(1));
+  EXPECT_GE(r.Cardinality(2), params.rows - 1);  // Near-unique.
+}
+
+TEST(GeneratorsTest, AdversarialPlantsNullsAndDuplicates) {
+  AdversarialParams params;
+  params.cols = 4;
+  params.rows = 400;
+  params.seed = 3;
+  params.null_fraction = 0.5;
+  params.duplicate_fraction = 0.4;
+  const Relation r = MakeAdversarial(params);
+  int64_t nulls = 0;
+  for (RowId row = 0; row < r.NumRows(); ++row) {
+    for (int c = 0; c < r.NumColumns(); ++c) {
+      if (r.Value(row, c).empty()) ++nulls;
+    }
+  }
+  EXPECT_GT(nulls, 0);
+  EXPECT_GT(DeduplicateRows(r).duplicates_removed, 0);
+}
+
 TEST(GeneratorsTest, UciProfilesMatchTable3Shapes) {
   const auto profiles = UciProfiles();
   ASSERT_EQ(profiles.size(), 11u);

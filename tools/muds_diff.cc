@@ -1,0 +1,452 @@
+// muds_diff — differential correctness driver.
+//
+// Generates seeded adversarial relations (workload/generators.h), computes
+// the ground truth with the brute-force reference profiler
+// (testing/reference.h), then runs every engine — MUDS, Holistic FUN, the
+// sequential SPIDER+DUCC+FUN baseline, and TANE — across the full
+// {threads: 1,2,8} x {pli-budget: tiny,unlimited} x {io: stream,buffered}
+// configuration matrix and diffs all result sets against the oracle. Every
+// engine run goes through the CSV surface (CsvWriter -> engine CSV entry
+// point), so the ingest engines are part of the contract under test.
+//
+// On a mismatch the driver shrinks the instance (drop columns, then chop
+// row chunks, while the mismatch persists) and prints a reproducer: the
+// seed, the generator parameters, the failing engine + configuration, the
+// result diff, and the minimized CSV dump.
+//
+// Usage:
+//   muds_diff [--seeds=N] [--start-seed=N] [--max-cols=N] [--max-rows=N]
+//             [--verbose] [--self-test]
+//
+// Exit status: 0 when every run matches the oracle (or, under --self-test,
+// when every injected corruption is caught), 1 on usage errors or missed
+// corruptions, 2 on mismatches.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/profiler.h"
+#include "data/csv.h"
+#include "data/metadata.h"
+#include "data/preprocess.h"
+#include "data/relation.h"
+#include "fd/tane.h"
+#include "testing/reference.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace muds;
+
+struct CliOptions {
+  int seeds = 25;
+  int start_seed = 1;
+  int max_cols = 10;
+  int64_t max_rows = 2000;
+  bool verbose = false;
+  bool self_test = false;
+};
+
+enum class Engine { kMuds, kHolisticFun, kBaseline, kTane };
+
+const char* EngineLabel(Engine engine) {
+  switch (engine) {
+    case Engine::kMuds: return "muds";
+    case Engine::kHolisticFun: return "hfun";
+    case Engine::kBaseline: return "baseline";
+    case Engine::kTane: return "tane";
+  }
+  return "?";
+}
+
+constexpr size_t kTinyBudgetBytes = 32 * 1024;
+
+struct EngineConfig {
+  int threads = 1;
+  size_t pli_budget_bytes = 0;  // 0 = unlimited
+  CsvIoMode io = CsvIoMode::kBuffered;
+
+  std::string Label() const {
+    std::string out = "threads=" + std::to_string(threads);
+    out += pli_budget_bytes == 0 ? " budget=unlimited" : " budget=tiny";
+    out += io == CsvIoMode::kStream ? " io=stream" : " io=buffered";
+    return out;
+  }
+};
+
+std::vector<EngineConfig> ConfigMatrix() {
+  std::vector<EngineConfig> configs;
+  for (int threads : {1, 2, 8}) {
+    for (size_t budget : {kTinyBudgetBytes, size_t{0}}) {
+      for (CsvIoMode io : {CsvIoMode::kStream, CsvIoMode::kBuffered}) {
+        configs.push_back(EngineConfig{threads, budget, io});
+      }
+    }
+  }
+  return configs;
+}
+
+// One engine run's answer. TANE discovers FDs and UCCs only, so `has_inds`
+// tells the differ which sets take part in the comparison.
+struct EngineAnswer {
+  bool ok = false;
+  std::string error;
+  bool has_inds = true;
+  std::vector<Ind> inds;
+  std::vector<ColumnSet> uccs;
+  std::vector<Fd> fds;
+};
+
+EngineAnswer RunEngine(Engine engine, const std::string& csv_text,
+                       const EngineConfig& config, uint64_t seed) {
+  EngineAnswer answer;
+  CsvOptions csv;
+  csv.io = config.io;
+  csv.num_threads = config.threads;
+  if (engine == Engine::kTane) {
+    Result<Relation> parsed = CsvReader::ReadString(csv_text, csv);
+    if (!parsed.ok()) {
+      answer.error = parsed.status().ToString();
+      return answer;
+    }
+    FdDiscoveryResult tane =
+        Tane::Discover(DeduplicateRows(parsed.value()).relation);
+    answer.ok = true;
+    answer.has_inds = false;
+    answer.uccs = std::move(tane.uccs);
+    answer.fds = std::move(tane.fds);
+    return answer;
+  }
+
+  ProfileOptions options;
+  switch (engine) {
+    case Engine::kMuds: options.algorithm = Algorithm::kMuds; break;
+    case Engine::kHolisticFun: options.algorithm = Algorithm::kHolisticFun; break;
+    case Engine::kBaseline: options.algorithm = Algorithm::kBaseline; break;
+    case Engine::kTane: break;  // handled above
+  }
+  options.seed = seed;
+  options.num_threads = config.threads;
+  options.pli_budget_bytes = config.pli_budget_bytes;
+  options.csv = csv;
+  Result<ProfilingResult> result = ProfileCsvString(csv_text, options);
+  if (!result.ok()) {
+    answer.error = result.status().ToString();
+    return answer;
+  }
+  answer.ok = true;
+  answer.inds = result.value().inds;
+  answer.uccs = result.value().uccs;
+  answer.fds = result.value().fds;
+  return answer;
+}
+
+// Renders the symmetric difference of two canonical dependency vectors,
+// a few entries per direction.
+template <typename T, typename Render>
+void DescribeSetDiff(const char* what, const std::vector<T>& expected,
+                     const std::vector<T>& actual, const Render& render,
+                     std::string* out) {
+  std::vector<T> missing, extra;
+  std::set_difference(expected.begin(), expected.end(), actual.begin(),
+                      actual.end(), std::back_inserter(missing));
+  std::set_difference(actual.begin(), actual.end(), expected.begin(),
+                      expected.end(), std::back_inserter(extra));
+  if (missing.empty() && extra.empty()) return;
+  *out += "  ";
+  *out += what;
+  *out += ": expected " + std::to_string(expected.size()) + ", got " +
+          std::to_string(actual.size()) + "\n";
+  const auto render_some = [&](const char* tag, const std::vector<T>& items) {
+    if (items.empty()) return;
+    *out += "    ";
+    *out += tag;
+    size_t shown = 0;
+    for (const T& item : items) {
+      if (shown++ == 5) {
+        *out += " ... (+" + std::to_string(items.size() - 5) + ")";
+        break;
+      }
+      *out += " " + render(item);
+    }
+    *out += "\n";
+  };
+  render_some("missing:", missing);
+  render_some("extra:  ", extra);
+}
+
+// Compares one engine answer with the oracle; returns a human-readable
+// description of the differences ("" = match).
+std::string DiffAgainstOracle(const EngineAnswer& answer,
+                              const ReferenceResult& oracle,
+                              const std::vector<std::string>& names) {
+  if (!answer.ok) return "  engine failed: " + answer.error + "\n";
+  std::string diff;
+  if (answer.has_inds) {
+    DescribeSetDiff("inds", oracle.inds, answer.inds,
+                    [&](const Ind& ind) { return ToString(ind, names); },
+                    &diff);
+  }
+  DescribeSetDiff("uccs", oracle.uccs, answer.uccs,
+                  [&](const ColumnSet& s) { return s.ToString(names); },
+                  &diff);
+  DescribeSetDiff("fds", oracle.fds, answer.fds,
+                  [&](const Fd& fd) { return ToString(fd, names); }, &diff);
+  return diff;
+}
+
+bool Mismatches(Engine engine, const Relation& relation,
+                const EngineConfig& config, uint64_t seed) {
+  const std::string csv_text = CsvWriter::ToString(relation);
+  const ReferenceResult oracle = ReferenceProfiler::Profile(relation);
+  const EngineAnswer answer = RunEngine(engine, csv_text, config, seed);
+  return !DiffAgainstOracle(answer, oracle, relation.ColumnNames()).empty();
+}
+
+// Shrinks `relation` while the engine still disagrees with the oracle:
+// first drops columns one at a time to a fixpoint, then removes row chunks
+// of halving sizes (ddmin-style). Bounded by `max_runs` engine reruns.
+Relation MinimizeReproducer(Engine engine, Relation relation,
+                            const EngineConfig& config, uint64_t seed,
+                            int max_runs = 400) {
+  int runs = 0;
+  // Column pass.
+  bool shrunk = true;
+  while (shrunk && relation.NumColumns() > 1 && runs < max_runs) {
+    shrunk = false;
+    for (int drop = 0; drop < relation.NumColumns(); ++drop) {
+      std::vector<int> keep;
+      for (int c = 0; c < relation.NumColumns(); ++c) {
+        if (c != drop) keep.push_back(c);
+      }
+      Relation candidate = relation.SelectColumns(keep);
+      ++runs;
+      if (Mismatches(engine, candidate, config, seed)) {
+        relation = std::move(candidate);
+        shrunk = true;
+        break;
+      }
+      if (runs >= max_runs) break;
+    }
+  }
+  // Row pass: try removing contiguous chunks, halving the chunk size.
+  for (RowId chunk = relation.NumRows() / 2; chunk >= 1; chunk /= 2) {
+    bool removed = true;
+    while (removed && runs < max_runs) {
+      removed = false;
+      for (RowId start = 0; start + chunk <= relation.NumRows();
+           start += chunk) {
+        std::vector<RowId> keep;
+        for (RowId r = 0; r < relation.NumRows(); ++r) {
+          if (r < start || r >= start + chunk) keep.push_back(r);
+        }
+        if (keep.empty()) continue;
+        Relation candidate = relation.SelectRows(keep);
+        ++runs;
+        if (Mismatches(engine, candidate, config, seed)) {
+          relation = std::move(candidate);
+          removed = true;
+          break;
+        }
+        if (runs >= max_runs) break;
+      }
+    }
+  }
+  return relation;
+}
+
+void PrintReproducer(Engine engine, const EngineConfig& config,
+                     const AdversarialParams& params, int seed,
+                     const CliOptions& cli, const Relation& minimized,
+                     const std::string& diff) {
+  std::fprintf(stderr,
+               "MISMATCH engine=%s %s\n"
+               "  generator: %s\n"
+               "  reproduce: muds_diff --start-seed=%d --seeds=1 "
+               "--max-cols=%d --max-rows=%lld\n%s",
+               EngineLabel(engine), config.Label().c_str(),
+               params.ToString().c_str(), seed, cli.max_cols,
+               static_cast<long long>(cli.max_rows), diff.c_str());
+  std::fprintf(stderr, "  minimized CSV (%d cols x %d rows):\n",
+               minimized.NumColumns(), minimized.NumRows());
+  const std::string csv = CsvWriter::ToString(minimized);
+  std::fputs(csv.c_str(), stderr);
+  std::fputs("\n", stderr);
+}
+
+// Runs the full engine x config matrix for one seed. Returns the number of
+// mismatching runs (each already reported + minimized).
+int RunSeed(int seed, const CliOptions& cli,
+            const std::vector<EngineConfig>& configs) {
+  const AdversarialParams params =
+      SampleAdversarialParams(static_cast<uint64_t>(seed), cli.max_cols,
+                              cli.max_rows);
+  const Relation relation = MakeAdversarial(params);
+  const ReferenceResult oracle = ReferenceProfiler::Profile(relation);
+  const std::string csv_text = CsvWriter::ToString(relation);
+  if (cli.verbose) {
+    std::fprintf(stderr,
+                 "seed %d: %s -> %zu inds, %zu uccs, %zu fds\n", seed,
+                 params.ToString().c_str(), oracle.inds.size(),
+                 oracle.uccs.size(), oracle.fds.size());
+  }
+
+  int mismatches = 0;
+  const Engine engines[] = {Engine::kMuds, Engine::kHolisticFun,
+                            Engine::kBaseline, Engine::kTane};
+  for (Engine engine : engines) {
+    for (const EngineConfig& config : configs) {
+      // TANE has no thread/budget knobs; run it once per io mode.
+      if (engine == Engine::kTane &&
+          (config.threads != 1 || config.pli_budget_bytes != 0)) {
+        continue;
+      }
+      const EngineAnswer answer = RunEngine(
+          engine, csv_text, config, static_cast<uint64_t>(seed) + 17);
+      const std::string diff =
+          DiffAgainstOracle(answer, oracle, relation.ColumnNames());
+      if (diff.empty()) continue;
+      ++mismatches;
+      const Relation minimized = MinimizeReproducer(
+          engine, relation, config, static_cast<uint64_t>(seed) + 17);
+      PrintReproducer(engine, config, params, seed, cli, minimized, diff);
+    }
+  }
+  return mismatches;
+}
+
+// --self-test: corrupt a correct engine answer in the three ways a real
+// minimality bug would (dropped FD, non-minimal FD, dropped UCC) and check
+// the differ flags each one — so the harness itself cannot rot silently.
+int SelfTest(const CliOptions& cli) {
+  const AdversarialParams params = SampleAdversarialParams(
+      7, std::min(cli.max_cols, 7), std::min<int64_t>(cli.max_rows, 200));
+  const Relation relation = MakeAdversarial(params);
+  const ReferenceResult oracle = ReferenceProfiler::Profile(relation);
+  const std::string csv_text = CsvWriter::ToString(relation);
+  const EngineConfig config;
+  EngineAnswer honest =
+      RunEngine(Engine::kMuds, csv_text, config, /*seed=*/1);
+  if (!DiffAgainstOracle(honest, oracle, relation.ColumnNames()).empty()) {
+    std::fprintf(stderr, "self-test: honest engine run mismatched oracle\n");
+    return 1;
+  }
+  int missed = 0;
+  const auto expect_flagged = [&](const char* what, EngineAnswer corrupted) {
+    Canonicalize(&corrupted.fds);
+    Canonicalize(&corrupted.uccs);
+    const std::string diff =
+        DiffAgainstOracle(corrupted, oracle, relation.ColumnNames());
+    if (diff.empty()) {
+      std::fprintf(stderr, "self-test: %s NOT caught\n", what);
+      ++missed;
+    } else if (cli.verbose) {
+      std::fprintf(stderr, "self-test: %s caught:\n%s", what, diff.c_str());
+    }
+  };
+
+  if (!honest.fds.empty()) {
+    EngineAnswer dropped = honest;
+    dropped.fds.pop_back();
+    expect_flagged("dropped FD", std::move(dropped));
+
+    // A non-minimal FD: widen some minimal lhs by one fresh column. Every
+    // superset of a valid lhs is valid, so only the minimality contract —
+    // the one an aggressive pruning rewrite would break — flags it.
+    EngineAnswer widened = honest;
+    for (Fd& fd : widened.fds) {
+      bool grew = false;
+      for (int c = 0; c < relation.NumColumns() && !grew; ++c) {
+        if (c != fd.rhs && !fd.lhs.Contains(c)) {
+          fd.lhs.Add(c);
+          grew = true;
+        }
+      }
+      if (grew) break;
+    }
+    if (widened.fds != honest.fds) {
+      expect_flagged("non-minimal FD", std::move(widened));
+    }
+  }
+  if (!honest.uccs.empty()) {
+    EngineAnswer dropped = honest;
+    dropped.uccs.pop_back();
+    expect_flagged("dropped UCC", std::move(dropped));
+  }
+  if (missed == 0) {
+    std::fprintf(stderr, "self-test: all injected corruptions caught\n");
+  }
+  return missed == 0 ? 0 : 1;
+}
+
+void PrintUsage(FILE* out) {
+  std::fprintf(out,
+               "usage: muds_diff [--seeds=N] [--start-seed=N] [--max-cols=N]\n"
+               "                 [--max-rows=N] [--verbose] [--self-test]\n");
+}
+
+bool ParseIntFlag(const std::string& arg, const char* prefix, long long* out) {
+  const size_t len = std::strlen(prefix);
+  if (arg.rfind(prefix, 0) != 0) return false;
+  char* end = nullptr;
+  const long long value = std::strtoll(arg.c_str() + len, &end, 10);
+  if (end == arg.c_str() + len || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* cli) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long long value = 0;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      std::exit(0);
+    } else if (ParseIntFlag(arg, "--seeds=", &value) && value >= 1) {
+      cli->seeds = static_cast<int>(value);
+    } else if (ParseIntFlag(arg, "--start-seed=", &value) && value >= 0) {
+      cli->start_seed = static_cast<int>(value);
+    } else if (ParseIntFlag(arg, "--max-cols=", &value) && value >= 2 &&
+               value <= ReferenceProfiler::kMaxActiveColumns) {
+      cli->max_cols = static_cast<int>(value);
+    } else if (ParseIntFlag(arg, "--max-rows=", &value) && value >= 2) {
+      cli->max_rows = value;
+    } else if (arg == "--verbose") {
+      cli->verbose = true;
+    } else if (arg == "--self-test") {
+      cli->self_test = true;
+    } else {
+      std::fprintf(stderr, "unknown or invalid option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) {
+    PrintUsage(stderr);
+    return 1;
+  }
+  if (cli.self_test) return SelfTest(cli);
+
+  const std::vector<EngineConfig> configs = ConfigMatrix();
+  int mismatches = 0;
+  int runs = 0;
+  for (int seed = cli.start_seed; seed < cli.start_seed + cli.seeds; ++seed) {
+    mismatches += RunSeed(seed, cli, configs);
+    // 3 profiling engines x full matrix + TANE per io mode.
+    runs += 3 * static_cast<int>(configs.size()) + 2;
+  }
+  std::fprintf(stderr,
+               "muds_diff: %d seeds, %d engine runs, %d mismatch%s\n",
+               cli.seeds, runs, mismatches, mismatches == 1 ? "" : "es");
+  return mismatches == 0 ? 0 : 2;
+}
