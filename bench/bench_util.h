@@ -5,10 +5,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/json.h"
+#include "common/simd.h"
 #include "core/profiler.h"
 #include "data/csv.h"
 #include "data/relation.h"
@@ -58,11 +62,44 @@ inline ProfilingResult RunAlgorithm(const std::string& csv_text,
   return std::move(result).value();
 }
 
+/// What the benches ran on — emitted into every BENCH_*.json so gate
+/// baselines (tools/bench_gate) are attributable to a machine and SIMD
+/// level when comparing runs.
+struct MachineInfo {
+  std::string cpu = "unknown";
+  /// The compile-time SIMD level of this binary (the runtime kill switch
+  /// simd::ForceScalar only affects individual measurements, which encode
+  /// it in their row names).
+  const char* simd = simd::LevelName(simd::kCompiledLevel);
+  unsigned hardware_threads = 0;
+};
+
+inline MachineInfo DetectMachine() {
+  MachineInfo info;
+  info.hardware_threads = std::thread::hardware_concurrency();
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        size_t start = colon + 1;
+        while (start < line.size() && line[start] == ' ') ++start;
+        info.cpu = line.substr(start);
+      }
+      break;
+    }
+  }
+  return info;
+}
+
 /// Accumulates measurement rows and writes one machine-readable
 /// BENCH_<bench>.json into the working directory when Write() is called (or
 /// at destruction), so the perf trajectory is trackable across commits:
 ///
-///   {"bench": "fig6_rows", "results": [
+///   {"bench": "fig6_rows",
+///    "machine": {"cpu": "...", "simd": "avx2", "hardware_threads": 8},
+///    "results": [
 ///     {"name": "muds/rows=10000", "wall_ms": 12.3, "threads": 1,
 ///      "counters": {"fd_checks": 456, ...},
 ///      "metrics": {"pli_cache.hits": 789, ...}}, ...]}
@@ -134,8 +171,14 @@ class JsonResultWriter {
       std::fprintf(stderr, "cannot write %s\n", path.c_str());
       return;
     }
-    std::fprintf(out, "{\"bench\": \"%s\", \"results\": [\n",
-                 bench_name_.c_str());
+    const MachineInfo machine = DetectMachine();
+    std::fprintf(out,
+                 "{\"bench\": \"%s\",\n"
+                 " \"machine\": {\"cpu\": %s, \"simd\": \"%s\", "
+                 "\"hardware_threads\": %u},\n"
+                 " \"results\": [\n",
+                 bench_name_.c_str(), json::Quote(machine.cpu).c_str(),
+                 machine.simd, machine.hardware_threads);
     for (size_t i = 0; i < rows_.size(); ++i) {
       std::fprintf(out, "%s%s\n", rows_[i].c_str(),
                    i + 1 < rows_.size() ? "," : "");

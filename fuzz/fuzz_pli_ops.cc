@@ -3,7 +3,9 @@
 // The input bytes choose two column cardinalities, a candidate count, and
 // the code streams of a small relation. Every kernel — FromColumn,
 // Intersect, Refines, RefinesAll, ForEmptySet — is checked against a naive
-// map-based partition oracle computed straight from the codes.
+// map-based partition oracle computed straight from the codes, and the
+// bitmap-sidecar implementation (plus the runtime-scalar SIMD variant of
+// both) is cross-checked against the scalar CSR answers.
 
 #include <algorithm>
 #include <cstdint>
@@ -13,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/simd.h"
 #include "data/relation.h"
 #include "fuzz_util.h"
 #include "pli/position_list_index.h"
@@ -170,6 +173,29 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   for (size_t k = 0; k < candidate_columns.size(); ++k) {
     FUZZ_ASSERT((valid[k] != 0) ==
                 intersected.Refines(*candidate_columns[k]));
+  }
+
+  // Implementation axis: pinned-bitmap and forced-scalar variants must
+  // reproduce the scalar CSR results bit for bit (partitions canonically).
+  for (const PliImpl impl : {PliImpl::kCsr, PliImpl::kBitmap}) {
+    for (const bool scalar : {false, true}) {
+      if (scalar) simd::ForceScalar(true);
+      const Pli va = Pli::FromColumn(relation.GetColumn(0), rows, impl);
+      const Pli vb = Pli::FromColumn(relation.GetColumn(1), rows, impl);
+      FUZZ_ASSERT(Materialize(va) == Materialize(pli_a));
+      const Pli vab = va.Intersect(vb);
+      FUZZ_ASSERT(Materialize(vab) == expected);
+      FUZZ_ASSERT(vab.NumNonSingletonRows() ==
+                  intersected.NumNonSingletonRows());
+      std::vector<uint8_t> variant_valid;
+      vab.RefinesAll(candidate_columns, &variant_valid);
+      FUZZ_ASSERT(variant_valid == valid);
+      for (int k = 0; k < num_candidates; ++k) {
+        const Column& column = relation.GetColumn(2 + k);
+        FUZZ_ASSERT(va.Refines(column) == pli_a.Refines(column));
+      }
+      if (scalar) simd::ForceScalar(false);
+    }
   }
   return 0;
 }

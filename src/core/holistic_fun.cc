@@ -11,7 +11,8 @@
 
 namespace muds {
 
-HolisticResult HolisticFun::Run(const Relation& relation, int num_threads) {
+HolisticResult HolisticFun::Run(const Relation& relation, int num_threads,
+                                PliImpl pli_impl) {
   HolisticResult result;
   ThreadPool pool(num_threads);
   result.num_threads_used = pool.NumThreads();
@@ -33,7 +34,7 @@ HolisticResult HolisticFun::Run(const Relation& relation, int num_threads) {
         });
     {
       MUDS_TRACE_SPAN(&result.timings, "FUN");
-      FdDiscoveryResult fd_result = Fun::Discover(relation);
+      FdDiscoveryResult fd_result = Fun::Discover(relation, pli_impl);
       result.fds = std::move(fd_result.fds);
       result.uccs = std::move(fd_result.uccs);
       result.fd_checks = fd_result.fd_checks;
@@ -50,7 +51,7 @@ HolisticResult HolisticFun::Run(const Relation& relation, int num_threads) {
   }
   {
     MUDS_TRACE_SPAN(&result.timings, "FUN");
-    FdDiscoveryResult fd_result = Fun::Discover(relation);
+    FdDiscoveryResult fd_result = Fun::Discover(relation, pli_impl);
     result.fds = std::move(fd_result.fds);
     result.uccs = std::move(fd_result.uccs);
     result.fd_checks = fd_result.fd_checks;
@@ -60,7 +61,8 @@ HolisticResult HolisticFun::Run(const Relation& relation, int num_threads) {
 }
 
 HolisticResult Baseline::Run(const Relation& relation, uint64_t seed,
-                             int num_threads, size_t pli_budget_bytes) {
+                             int num_threads, size_t pli_budget_bytes,
+                             PliImpl pli_impl) {
   HolisticResult result;
   ThreadPool pool(num_threads);
   result.num_threads_used = pool.NumThreads();
@@ -71,7 +73,7 @@ HolisticResult Baseline::Run(const Relation& relation, uint64_t seed,
   {
     MUDS_TRACE_SPAN(&result.timings, "DUCC");
     // DUCC builds its own PLIs: no sharing in the baseline.
-    PliCache cache(relation, pli_budget_bytes, &pool);
+    PliCache cache(relation, pli_budget_bytes, &pool, pli_impl);
     Ducc::Options options;
     options.seed = seed;
     result.uccs = Ducc::Discover(relation, &cache, options);
@@ -83,7 +85,7 @@ HolisticResult Baseline::Run(const Relation& relation, uint64_t seed,
   }
   {
     MUDS_TRACE_SPAN(&result.timings, "FUN");
-    FdDiscoveryResult fd_result = Fun::Discover(relation);
+    FdDiscoveryResult fd_result = Fun::Discover(relation, pli_impl);
     result.fds = std::move(fd_result.fds);
     result.fd_checks = fd_result.fd_checks;
     result.pli_intersects += fd_result.pli_intersects;

@@ -4,6 +4,7 @@
 #include "common/timer.h"
 #include "data/metadata.h"
 #include "data/relation.h"
+#include "pli/position_list_index.h"
 
 namespace muds {
 
@@ -37,7 +38,10 @@ class HolisticFun {
   /// state — run concurrently; the discovered dependency sets are identical
   /// for every thread count. Phase timings then measure each task's own
   /// elapsed time, so they can sum to more than the wall clock.
-  static HolisticResult Run(const Relation& relation, int num_threads = 1);
+  /// `pli_impl` selects the PLI representation FUN materializes its
+  /// lattice with (the discovered sets are identical for every choice).
+  static HolisticResult Run(const Relation& relation, int num_threads = 1,
+                            PliImpl pli_impl = PliImpl::kAuto);
 };
 
 /// The evaluation baseline (§6): the sequential execution of the three
@@ -55,7 +59,8 @@ class Baseline {
   /// the discovered dependency sets are identical for every budget.
   static HolisticResult Run(const Relation& relation, uint64_t seed = 1,
                             int num_threads = 1,
-                            size_t pli_budget_bytes = size_t{1} << 30);
+                            size_t pli_budget_bytes = size_t{1} << 30,
+                            PliImpl pli_impl = PliImpl::kAuto);
 };
 
 }  // namespace muds

@@ -466,11 +466,13 @@ void MudsRunner::RunSpider() {
   if (pool_->NumThreads() > 1) {
     std::future<std::vector<Ind>> inds =
         pool_->Submit([this] { return Spider::Discover(relation_); });
-    cache_.emplace(relation_, options_.pli_budget_bytes, &*pool_);
+    cache_.emplace(relation_, options_.pli_budget_bytes, &*pool_,
+                   options_.pli_impl);
     result_.inds = inds.get();
   } else {
     result_.inds = Spider::Discover(relation_);
-    cache_.emplace(relation_, options_.pli_budget_bytes);
+    cache_.emplace(relation_, options_.pli_budget_bytes, nullptr,
+                   options_.pli_impl);
   }
   active_ = relation_.ActiveColumns();
 }

@@ -7,6 +7,7 @@
 #include "common/timer.h"
 #include "data/metadata.h"
 #include "data/relation.h"
+#include "pli/position_list_index.h"
 #include "ucc/ducc.h"
 
 namespace muds {
@@ -64,6 +65,13 @@ struct MudsOptions {
   /// are transparently rebuilt, so the discovered dependency sets are
   /// identical for every budget; only runtime and the cache counters vary.
   size_t pli_budget_bytes = size_t{1} << 30;  // PliCache::kDefaultBudgetBytes
+
+  /// PLI representation strategy for the shared cache (--pli-impl). The
+  /// discovered IND/UCC/FD sets are identical for every choice; kAuto
+  /// attaches the low-cardinality bitmap sidecar where it pays off, kCsr
+  /// forces the flat-CSR reference layout, kBitmap attaches the sidecar
+  /// whenever representable.
+  PliImpl pli_impl = PliImpl::kAuto;
 };
 
 /// Counters describing what MUDS did; benches report these alongside

@@ -35,7 +35,8 @@ Algorithm ChooseAutomatically(const Relation& relation,
   {
     MUDS_TRACE_SPAN(timings, "autoSelect");
     ThreadPool pool(options.num_threads);
-    PliCache cache(relation, options.pli_budget_bytes, &pool);
+    PliCache cache(relation, options.pli_budget_bytes, &pool,
+                   options.pli_impl);
     Ducc::Options ducc_options;
     ducc_options.seed = options.seed;
     uccs = Ducc::Discover(relation, &cache, ducc_options);
@@ -77,6 +78,7 @@ ProfilingResult RunOnDeduped(const Relation& relation,
       muds_options.seed = options.seed;
       muds_options.num_threads = options.num_threads;
       muds_options.pli_budget_bytes = options.pli_budget_bytes;
+      muds_options.pli_impl = options.pli_impl;
       MudsResult muds = Muds::Run(relation, muds_options);
       result.inds = std::move(muds.inds);
       result.uccs = std::move(muds.uccs);
@@ -107,9 +109,10 @@ ProfilingResult RunOnDeduped(const Relation& relation,
     case Algorithm::kBaseline: {
       HolisticResult holistic =
           options.algorithm == Algorithm::kHolisticFun
-              ? HolisticFun::Run(relation, options.num_threads)
+              ? HolisticFun::Run(relation, options.num_threads,
+                                 options.pli_impl)
               : Baseline::Run(relation, options.seed, options.num_threads,
-                              options.pli_budget_bytes);
+                              options.pli_budget_bytes, options.pli_impl);
       result.inds = std::move(holistic.inds);
       result.uccs = std::move(holistic.uccs);
       result.fds = std::move(holistic.fds);

@@ -67,6 +67,11 @@ struct ProfileOptions {
   /// sets are identical for every budget — a tight budget only trades
   /// rebuild work for memory.
   size_t pli_budget_bytes = size_t{1} << 30;
+  /// PLI representation strategy (--pli-impl). Overrides `muds.pli_impl`
+  /// the same way `seed` overrides `muds.seed` and applies to every
+  /// engine. The discovered dependency sets are identical for every
+  /// choice; the axis exists for A/B debugging and perf work.
+  PliImpl pli_impl = PliImpl::kAuto;
   /// MUDS-specific knobs (its `seed` field is overridden by `seed` above).
   MudsOptions muds;
   /// CSV dialect for the CSV entry points.

@@ -48,7 +48,7 @@ int64_t InferCardinality(const ColumnSet& set, CardMap* cards) {
 
 }  // namespace
 
-FdDiscoveryResult Fun::Discover(const Relation& relation) {
+FdDiscoveryResult Fun::Discover(const Relation& relation, PliImpl impl) {
   FdDiscoveryResult result;
   result.fds = ConstantColumnFds(relation);
   if (relation.NumRows() <= 1) {
@@ -76,7 +76,7 @@ FdDiscoveryResult Fun::Discover(const Relation& relation) {
     Node node;
     node.set = ColumnSet::Single(c);
     node.pli = std::make_shared<Pli>(
-        Pli::FromColumn(relation.GetColumn(c), relation.NumRows()));
+        Pli::FromColumn(relation.GetColumn(c), relation.NumRows(), impl));
     node.cardinality = node.pli->DistinctCount();
     node.is_key = node.cardinality == num_rows;
     cards.emplace(node.set, node.cardinality);

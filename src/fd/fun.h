@@ -3,6 +3,7 @@
 
 #include "data/relation.h"
 #include "fd/fd_util.h"
+#include "pli/position_list_index.h"
 
 namespace muds {
 
@@ -25,7 +26,10 @@ namespace muds {
 /// Expects a duplicate-row-free relation (the Profiler guarantees this).
 class Fun {
  public:
-  static FdDiscoveryResult Discover(const Relation& relation);
+  /// `impl` selects the PLI representation (the discovered sets are
+  /// identical for every choice).
+  static FdDiscoveryResult Discover(const Relation& relation,
+                                    PliImpl impl = PliImpl::kAuto);
 };
 
 }  // namespace muds

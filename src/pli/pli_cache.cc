@@ -40,14 +40,14 @@ struct CacheCounters {
 }  // namespace
 
 PliCache::PliCache(const Relation& relation, size_t budget_bytes,
-                   ThreadPool* pool)
-    : relation_(&relation), budget_bytes_(budget_bytes) {
+                   ThreadPool* pool, PliImpl impl)
+    : relation_(&relation), budget_bytes_(budget_bytes), impl_(impl) {
   CacheCounters::Get();  // Register the pli_cache.* metrics.
   const int n = relation.NumColumns();
   std::vector<std::shared_ptr<const Pli>> singles(static_cast<size_t>(n));
   const auto build = [&](int64_t c) {
     singles[static_cast<size_t>(c)] = std::make_shared<Pli>(Pli::FromColumn(
-        relation.GetColumn(static_cast<int>(c)), relation.NumRows()));
+        relation.GetColumn(static_cast<int>(c)), relation.NumRows(), impl_));
   };
   if (pool != nullptr && pool->NumThreads() > 1) {
     pool->ParallelFor(0, n, build);
@@ -59,7 +59,7 @@ PliCache::PliCache(const Relation& relation, size_t budget_bytes,
            /*pinned=*/true);
   }
   Insert(ColumnSet(),
-         std::make_shared<Pli>(Pli::ForEmptySet(relation.NumRows())),
+         std::make_shared<Pli>(Pli::ForEmptySet(relation.NumRows(), impl_)),
          /*pinned=*/true);
 }
 

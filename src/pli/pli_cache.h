@@ -59,9 +59,12 @@ class PliCache {
   /// the cache. `budget_bytes` bounds the cached PLI payload (0 = no
   /// bound). If `pool` is non-null and parallel, the single-column PLIs are
   /// built concurrently (one task per column — they are independent).
+  /// `impl` selects the PLI representation for the pinned base PLIs;
+  /// derived (intersected) entries inherit it through sidecar propagation.
   explicit PliCache(const Relation& relation,
                     size_t budget_bytes = kDefaultBudgetBytes,
-                    ThreadPool* pool = nullptr);
+                    ThreadPool* pool = nullptr,
+                    PliImpl impl = PliImpl::kAuto);
 
   PliCache(const PliCache&) = delete;
   PliCache& operator=(const PliCache&) = delete;
@@ -118,6 +121,9 @@ class PliCache {
 
   size_t budget_bytes() const { return budget_bytes_; }
 
+  /// Representation strategy the cache builds its PLIs with.
+  PliImpl impl() const { return impl_; }
+
  private:
   static constexpr size_t kNumShards = 16;
 
@@ -167,6 +173,7 @@ class PliCache {
   const Relation* relation_;
   std::array<Shard, kNumShards> shards_;
   size_t budget_bytes_;
+  PliImpl impl_ = PliImpl::kAuto;
   std::atomic<size_t> num_cached_{0};
   std::atomic<size_t> bytes_cached_{0};
   std::atomic<int64_t> num_intersects_{0};

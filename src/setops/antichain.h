@@ -2,6 +2,8 @@
 #define MUDS_SETOPS_ANTICHAIN_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "setops/column_set.h"
@@ -28,6 +30,13 @@ class MinimalSetCollection {
   /// is "covered": it is one of the minimal sets or dominated by one.
   bool ContainsSubsetOf(const ColumnSet& set) const {
     return trie_.ContainsSubsetOf(set);
+  }
+
+  /// Batched coverage query: out[i] = ContainsSubsetOf(base ∪ {extras[i]})
+  /// in one trie traversal (the lattice walks' candidate expansion).
+  void ContainsSubsetOfEach(const ColumnSet& base, std::span<const int> extras,
+                            std::vector<uint8_t>* out) const {
+    trie_.ContainsSubsetOfEach(base, extras, out);
   }
 
   /// True if a stored set is a superset of (or equal to) `set`.

@@ -1,6 +1,9 @@
 #include "setops/set_trie.h"
 
 #include <algorithm>
+#include <array>
+
+#include "common/check.h"
 
 namespace muds {
 
@@ -78,6 +81,64 @@ bool SetTrie::SubsetQuery(const Node* node, const ColumnSet& set, int from) {
 
 bool SetTrie::ContainsSubsetOf(const ColumnSet& set) const {
   return SubsetQuery(root_.get(), set, 0);
+}
+
+struct SetTrie::SubsetEachState {
+  const ColumnSet* base;
+  // Maps a column index to its position in `extras`, or -1.
+  std::array<int16_t, ColumnSet::kMaxColumns> extra_of_column;
+  std::vector<uint8_t>* out;
+  // Unanswered extras; the traversal aborts once it reaches zero.
+  size_t remaining;
+};
+
+void SetTrie::SubsetEachQuery(const Node* node, int from, int used_extra,
+                              SubsetEachState* state) {
+  if (node->terminal) {
+    if (used_extra < 0) {
+      // A stored subset of `base` alone: every extension is covered.
+      std::fill(state->out->begin(), state->out->end(), uint8_t{1});
+      state->remaining = 0;
+      return;
+    }
+    if (!(*state->out)[static_cast<size_t>(used_extra)]) {
+      (*state->out)[static_cast<size_t>(used_extra)] = 1;
+      --state->remaining;
+    }
+    // Deeper terminals on this path could only re-answer the same extra.
+    return;
+  }
+  for (const auto& [column, child] : node->children) {
+    if (state->remaining == 0) return;
+    if (column < from) continue;
+    if (state->base->Contains(column)) {
+      SubsetEachQuery(child.get(), column + 1, used_extra, state);
+    } else if (used_extra < 0) {
+      const int16_t extra = state->extra_of_column[static_cast<size_t>(column)];
+      if (extra >= 0 && !(*state->out)[static_cast<size_t>(extra)]) {
+        SubsetEachQuery(child.get(), column + 1, extra, state);
+      }
+    }
+  }
+}
+
+void SetTrie::ContainsSubsetOfEach(const ColumnSet& base,
+                                   std::span<const int> extras,
+                                   std::vector<uint8_t>* out) const {
+  out->assign(extras.size(), 0);
+  if (extras.empty()) return;
+  SubsetEachState state;
+  state.base = &base;
+  state.extra_of_column.fill(-1);
+  for (size_t i = 0; i < extras.size(); ++i) {
+    // Distinct-extras contract (duplicates would shadow each other).
+    MUDS_DCHECK(state.extra_of_column[static_cast<size_t>(extras[i])] == -1);
+    state.extra_of_column[static_cast<size_t>(extras[i])] =
+        static_cast<int16_t>(i);
+  }
+  state.out = out;
+  state.remaining = extras.size();
+  SubsetEachQuery(root_.get(), 0, -1, &state);
 }
 
 bool SetTrie::SupersetQuery(const Node* node, const std::vector<int>& columns,

@@ -2,7 +2,9 @@
 #define MUDS_SETOPS_SET_TRIE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -37,6 +39,17 @@ class SetTrie {
 
   /// True if some stored set is a subset of (or equal to) `set`.
   bool ContainsSubsetOf(const ColumnSet& set) const;
+
+  /// Batched subset query: writes out[i] = ContainsSubsetOf(base ∪
+  /// {extras[i]}) for every i, in one trie traversal instead of
+  /// extras.size() independent ones. The lattice walks expand a node by
+  /// asking exactly this — "which single-column extensions are already
+  /// known positive?" — so the shared prefix work (every path through
+  /// columns of `base`) is paid once. `extras` must be distinct and
+  /// `out` is resized to extras.size(). Extras already in `base` behave
+  /// like the identity extension (out[i] = ContainsSubsetOf(base)).
+  void ContainsSubsetOfEach(const ColumnSet& base, std::span<const int> extras,
+                            std::vector<uint8_t>* out) const;
 
   /// True if some stored set is a superset of (or equal to) `set`.
   bool ContainsSupersetOf(const ColumnSet& set) const;
@@ -75,6 +88,9 @@ class SetTrie {
   };
 
   static bool SubsetQuery(const Node* node, const ColumnSet& set, int from);
+  struct SubsetEachState;
+  static void SubsetEachQuery(const Node* node, int from, int used_extra,
+                              SubsetEachState* state);
   static bool SupersetQuery(const Node* node,
                             const std::vector<int>& columns, size_t index);
   static void CollectSubsets(const Node* node, const ColumnSet& set, int from,

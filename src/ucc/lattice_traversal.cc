@@ -117,12 +117,18 @@ void LatticeTraversal::WalkFrom(ColumnSet seed) {
     }
     // Negative: queue every direct superset that is not already known
     // positive, in random order. If all supersets are positive, `node` is
-    // a maximal negative.
-    std::vector<int> candidates;
+    // a maximal negative. One batched trie traversal answers the
+    // known-positive query for every extension at once (no knowledge is
+    // inserted between the queries, so this is equivalent to — and cheaper
+    // than — one ContainsSubsetOf per candidate).
+    batch_extras_.clear();
     for (int c = universe_.First(); c >= 0; c = universe_.NextAtLeast(c + 1)) {
-      if (!node.Contains(c) && !KnownPositive(node.With(c))) {
-        candidates.push_back(c);
-      }
+      if (!node.Contains(c)) batch_extras_.push_back(c);
+    }
+    known_positives_.ContainsSubsetOfEach(node, batch_extras_, &batch_known_);
+    std::vector<int> candidates;
+    for (size_t i = 0; i < batch_extras_.size(); ++i) {
+      if (!batch_known_[i]) candidates.push_back(batch_extras_[i]);
     }
     if (candidates.empty()) {
       negatives_.Insert(node);

@@ -101,6 +101,11 @@ class LatticeTraversal {
   MinimalSetCollection minimal_positives_;  // Verified minimal.
   MinimalSetCollection known_positives_;    // Classification knowledge.
   MaximalSetCollection negatives_;
+
+  // Scratch for WalkFrom's batched candidate expansion (reused across
+  // nodes to avoid per-node allocations).
+  std::vector<int> batch_extras_;
+  std::vector<uint8_t> batch_known_;
 };
 
 }  // namespace muds

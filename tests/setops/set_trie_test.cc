@@ -122,6 +122,67 @@ TEST(SetTrieTest, RandomizedQueriesMatchNaive) {
   }
 }
 
+TEST(SetTrieTest, ContainsSubsetOfEachMatchesPerQuery) {
+  Rng rng(13);
+  SetTrie trie;
+  for (int i = 0; i < 150; ++i) {
+    ColumnSet s;
+    const int size = static_cast<int>(rng.NextBelow(5));
+    for (int j = 0; j < size; ++j) s.Add(static_cast<int>(rng.NextBelow(14)));
+    trie.Insert(s);
+  }
+  for (int q = 0; q < 200; ++q) {
+    ColumnSet base;
+    const int size = static_cast<int>(rng.NextBelow(6));
+    for (int j = 0; j < size; ++j) {
+      base.Add(static_cast<int>(rng.NextBelow(14)));
+    }
+    // Distinct extras outside `base`.
+    std::vector<int> extras;
+    for (int c = 0; c < 14; ++c) {
+      if (!base.Contains(c) && rng.NextBelow(2) == 0) extras.push_back(c);
+    }
+    std::vector<uint8_t> batched;
+    trie.ContainsSubsetOfEach(base, extras, &batched);
+    ASSERT_EQ(batched.size(), extras.size());
+    for (size_t i = 0; i < extras.size(); ++i) {
+      EXPECT_EQ(batched[i] != 0,
+                trie.ContainsSubsetOf(base.With(extras[i])))
+          << "query " << q << " extra " << extras[i];
+    }
+  }
+}
+
+TEST(SetTrieTest, ContainsSubsetOfEachEdgeCases) {
+  SetTrie trie;
+  std::vector<uint8_t> out;
+
+  // Empty trie: nothing contains a subset.
+  trie.ContainsSubsetOfEach(Set({1, 2}), std::vector<int>{3, 4}, &out);
+  EXPECT_EQ(out, (std::vector<uint8_t>{0, 0}));
+
+  // Empty extras list.
+  trie.ContainsSubsetOfEach(Set({1}), std::vector<int>{}, &out);
+  EXPECT_TRUE(out.empty());
+
+  // A member that is a subset of the base alone answers every extension.
+  trie.Insert(Set({1}));
+  trie.ContainsSubsetOfEach(Set({1, 2}), std::vector<int>{5, 6, 7}, &out);
+  EXPECT_EQ(out, (std::vector<uint8_t>{1, 1, 1}));
+
+  // A member reachable only through one specific extra answers just it.
+  SetTrie trie2;
+  trie2.Insert(Set({2, 9}));
+  trie2.ContainsSubsetOfEach(Set({2}), std::vector<int>{8, 9, 10}, &out);
+  EXPECT_EQ(out, (std::vector<uint8_t>{0, 1, 0}));
+
+  // The empty set as a member answers everything, base included or not.
+  SetTrie trie3;
+  trie3.Insert(ColumnSet());
+  trie3.ContainsSubsetOfEach(ColumnSet(), std::vector<int>{0, 1}, &out);
+  EXPECT_EQ(out, (std::vector<uint8_t>{1, 1}));
+}
+
 TEST(SetTrieTest, ErasePrunesBranches) {
   SetTrie trie;
   trie.Insert(Set({1, 2, 3}));

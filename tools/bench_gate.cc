@@ -1,0 +1,181 @@
+// bench_gate — perf-regression gate over the BENCH_*.json files the bench
+// binaries emit.
+//
+// Usage:
+//   bench_gate CURRENT.json FLOORS.json [--soft]
+//
+// FLOORS.json is committed next to the benches and pins a floor per gated
+// measurement:
+//
+//   {"bench": "micro_pli", "tolerance": 0.25, "floors": [
+//     {"name": "pli_intersect/card=8", "counter": "speedup_x100",
+//      "min": 150},
+//     ...]}
+//
+// For every floor the row with the matching "name" is looked up in
+// CURRENT.json and its counters[counter] compared against
+// min * (1 - tolerance) — the tolerance band absorbs machine-to-machine
+// noise, which is also why floors gate ratio counters (speedups measured
+// inside one process) rather than wall-clock times. A missing row or
+// counter fails the gate: a renamed bench must rename its floor, otherwise
+// it silently ungates. A per-floor "tolerance" overrides the file-wide one.
+//
+// --soft downgrades failures to warnings (exit 0) — the CI escape hatch
+// for known-noisy runners.
+//
+// Exit status: 0 gate passed, 1 gate failed, 2 I/O or parse errors.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+
+namespace {
+
+using muds::json::Parse;
+using muds::json::Value;
+
+bool ReadFile(const char* path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return in.good() || in.eof();
+}
+
+const Value* FindResultRow(const Value& current, const std::string& name) {
+  const Value* results = current.Find("results");
+  if (results == nullptr || !results->IsArray()) return nullptr;
+  for (const Value& row : results->array) {
+    const Value* row_name = row.Find("name");
+    if (row_name != nullptr && row_name->IsString() &&
+        row_name->string == name) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* current_path = nullptr;
+  const char* floors_path = nullptr;
+  bool soft = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--soft") == 0) {
+      soft = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: bench_gate CURRENT.json FLOORS.json [--soft]\n");
+      return 0;
+    } else if (current_path == nullptr) {
+      current_path = argv[i];
+    } else if (floors_path == nullptr) {
+      floors_path = argv[i];
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (current_path == nullptr || floors_path == nullptr) {
+    std::fprintf(stderr, "usage: bench_gate CURRENT.json FLOORS.json "
+                         "[--soft]\n");
+    return 2;
+  }
+
+  std::string current_text;
+  std::string floors_text;
+  if (!ReadFile(current_path, &current_text)) {
+    std::fprintf(stderr, "bench_gate: cannot read %s\n", current_path);
+    return 2;
+  }
+  if (!ReadFile(floors_path, &floors_text)) {
+    std::fprintf(stderr, "bench_gate: cannot read %s\n", floors_path);
+    return 2;
+  }
+  const muds::Result<Value> current = Parse(current_text);
+  if (!current.ok()) {
+    std::fprintf(stderr, "bench_gate: %s: %s\n", current_path,
+                 current.status().ToString().c_str());
+    return 2;
+  }
+  const muds::Result<Value> floors = Parse(floors_text);
+  if (!floors.ok()) {
+    std::fprintf(stderr, "bench_gate: %s: %s\n", floors_path,
+                 floors.status().ToString().c_str());
+    return 2;
+  }
+
+  const Value* floor_list = floors.value().Find("floors");
+  if (floor_list == nullptr || !floor_list->IsArray()) {
+    std::fprintf(stderr, "bench_gate: %s has no \"floors\" array\n",
+                 floors_path);
+    return 2;
+  }
+  double default_tolerance = 0.25;
+  if (const Value* t = floors.value().Find("tolerance");
+      t != nullptr && t->IsNumber()) {
+    default_tolerance = t->number;
+  }
+
+  int failures = 0;
+  int checked = 0;
+  for (const Value& floor : floor_list->array) {
+    const Value* name = floor.Find("name");
+    const Value* counter = floor.Find("counter");
+    const Value* min = floor.Find("min");
+    if (name == nullptr || !name->IsString() || counter == nullptr ||
+        !counter->IsString() || min == nullptr || !min->IsNumber()) {
+      std::fprintf(stderr,
+                   "bench_gate: malformed floor entry (need name, counter, "
+                   "min)\n");
+      return 2;
+    }
+    double tolerance = default_tolerance;
+    if (const Value* t = floor.Find("tolerance");
+        t != nullptr && t->IsNumber()) {
+      tolerance = t->number;
+    }
+    const double threshold = min->number * (1.0 - tolerance);
+    ++checked;
+
+    const Value* row = FindResultRow(current.value(), name->string);
+    if (row == nullptr) {
+      std::printf("FAIL %s: no such result row in %s\n",
+                  name->string.c_str(), current_path);
+      ++failures;
+      continue;
+    }
+    const Value* counters = row->Find("counters");
+    const Value* value =
+        counters == nullptr ? nullptr : counters->Find(counter->string);
+    if (value == nullptr || !value->IsNumber()) {
+      std::printf("FAIL %s: counter \"%s\" missing\n", name->string.c_str(),
+                  counter->string.c_str());
+      ++failures;
+      continue;
+    }
+    if (value->number < threshold) {
+      std::printf("FAIL %s: %s = %.0f < floor %.0f (min %.0f, tolerance "
+                  "%.0f%%)\n",
+                  name->string.c_str(), counter->string.c_str(),
+                  value->number, threshold, min->number, tolerance * 100.0);
+      ++failures;
+    } else {
+      std::printf("PASS %s: %s = %.0f >= floor %.0f\n",
+                  name->string.c_str(), counter->string.c_str(),
+                  value->number, threshold);
+    }
+  }
+
+  std::printf("bench_gate: %d/%d floors passed%s\n", checked - failures,
+              checked, soft && failures > 0 ? " (soft mode: not failing)"
+                                            : "");
+  if (failures > 0 && !soft) return 1;
+  return 0;
+}

@@ -5,7 +5,9 @@
 // (testing/reference.h), then runs every engine — MUDS, Holistic FUN, the
 // sequential SPIDER+DUCC+FUN baseline, and TANE — across the full
 // {threads: 1,2,8} x {pli-budget: tiny,unlimited} x {io: stream,buffered}
-// configuration matrix and diffs all result sets against the oracle. Every
+// configuration matrix — plus a PLI-implementation axis
+// {csr,bitmap} x {native,forced-scalar SIMD} x {threads: 1,8} — and diffs
+// all result sets against the oracle. Every
 // engine run goes through the CSV surface (CsvWriter -> engine CSV entry
 // point), so the ingest engines are part of the contract under test.
 //
@@ -29,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "core/profiler.h"
 #include "data/csv.h"
 #include "data/metadata.h"
@@ -69,11 +72,18 @@ struct EngineConfig {
   int threads = 1;
   size_t pli_budget_bytes = 0;  // 0 = unlimited
   CsvIoMode io = CsvIoMode::kBuffered;
+  PliImpl impl = PliImpl::kAuto;
+  bool force_scalar_simd = false;
 
   std::string Label() const {
     std::string out = "threads=" + std::to_string(threads);
     out += pli_budget_bytes == 0 ? " budget=unlimited" : " budget=tiny";
     out += io == CsvIoMode::kStream ? " io=stream" : " io=buffered";
+    if (impl != PliImpl::kAuto) {
+      out += " impl=";
+      out += ToString(impl);
+    }
+    if (force_scalar_simd) out += " simd=scalar";
     return out;
   }
 };
@@ -84,6 +94,20 @@ std::vector<EngineConfig> ConfigMatrix() {
     for (size_t budget : {kTinyBudgetBytes, size_t{0}}) {
       for (CsvIoMode io : {CsvIoMode::kStream, CsvIoMode::kBuffered}) {
         configs.push_back(EngineConfig{threads, budget, io});
+      }
+    }
+  }
+  // PLI implementation axis: pinned CSR and pinned bitmap, each with the
+  // native SIMD level and with the runtime scalar kill switch, single- and
+  // multi-threaded. All variants must produce identical result sets.
+  for (PliImpl impl : {PliImpl::kCsr, PliImpl::kBitmap}) {
+    for (bool scalar : {false, true}) {
+      for (int threads : {1, 8}) {
+        EngineConfig config;
+        config.threads = threads;
+        config.impl = impl;
+        config.force_scalar_simd = scalar;
+        configs.push_back(config);
       }
     }
   }
@@ -101,9 +125,27 @@ struct EngineAnswer {
   std::vector<Fd> fds;
 };
 
+// Flips the SIMD kill switch for the duration of one engine run; the
+// switch is process-global, so it must be restored on every exit path.
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool on) : on_(on) {
+    if (on_) simd::ForceScalar(true);
+  }
+  ~ScopedForceScalar() {
+    if (on_) simd::ForceScalar(false);
+  }
+  ScopedForceScalar(const ScopedForceScalar&) = delete;
+  ScopedForceScalar& operator=(const ScopedForceScalar&) = delete;
+
+ private:
+  bool on_;
+};
+
 EngineAnswer RunEngine(Engine engine, const std::string& csv_text,
                        const EngineConfig& config, uint64_t seed) {
   EngineAnswer answer;
+  ScopedForceScalar scalar_guard(config.force_scalar_simd);
   CsvOptions csv;
   csv.io = config.io;
   csv.num_threads = config.threads;
@@ -132,6 +174,7 @@ EngineAnswer RunEngine(Engine engine, const std::string& csv_text,
   options.seed = seed;
   options.num_threads = config.threads;
   options.pli_budget_bytes = config.pli_budget_bytes;
+  options.pli_impl = config.impl;
   options.csv = csv;
   Result<ProfilingResult> result = ProfileCsvString(csv_text, options);
   if (!result.ok()) {
@@ -300,9 +343,10 @@ int RunSeed(int seed, const CliOptions& cli,
                             Engine::kBaseline, Engine::kTane};
   for (Engine engine : engines) {
     for (const EngineConfig& config : configs) {
-      // TANE has no thread/budget knobs; run it once per io mode.
+      // TANE has no thread/budget/impl knobs; run it once per io mode.
       if (engine == Engine::kTane &&
-          (config.threads != 1 || config.pli_budget_bytes != 0)) {
+          (config.threads != 1 || config.pli_budget_bytes != 0 ||
+           config.impl != PliImpl::kAuto || config.force_scalar_simd)) {
         continue;
       }
       const EngineAnswer answer = RunEngine(

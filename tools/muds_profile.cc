@@ -22,6 +22,13 @@
 //                                         (0 = unlimited, default 1024);
 //                                         results are identical for every
 //                                         budget
+//   --pli-impl=auto|csr|bitmap            PLI representation (default auto:
+//                                         CSR plus the low-cardinality
+//                                         bitmap sidecar where it pays off;
+//                                         csr = flat CSR only; bitmap =
+//                                         sidecar whenever representable);
+//                                         results are identical for every
+//                                         impl
 //   --json                                machine-readable JSON output
 //   --output=FILE                         write the report to FILE instead
 //                                         of stdout
@@ -73,7 +80,8 @@ void PrintUsage(FILE* out) {
       "                    [--separator=C] [--no-header] [--max-rows=N]\n"
       "                    [--null-token=S] [--null-unequal] [--seed=N]\n"
       "                    [--io=buffered|stream] [--threads=N]\n"
-      "                    [--pli-budget-mb=N] [--json]\n"
+      "                    [--pli-budget-mb=N] [--pli-impl=auto|csr|bitmap]\n"
+      "                    [--json]\n"
       "                    [--output=FILE] [--quiet] [--metrics]\n"
       "                    [--trace=FILE] [--stats] [--soft-fds[=T]]\n");
 }
@@ -149,6 +157,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       }
       options->profile.pli_budget_bytes =
           static_cast<size_t>(mb) << 20;  // 0 = unlimited.
+    } else if (arg.rfind("--pli-impl=", 0) == 0) {
+      const std::string name = arg.substr(11);
+      if (!ParsePliImpl(name, &options->profile.pli_impl)) {
+        std::fprintf(stderr, "unknown pli impl: %s\n", name.c_str());
+        return false;
+      }
     } else if (arg == "--json") {
       options->json = true;
     } else if (arg.rfind("--output=", 0) == 0) {
