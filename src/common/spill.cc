@@ -1,0 +1,213 @@
+#include "common/spill.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MUDS_SPILL_POSIX 1
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace muds {
+
+namespace {
+
+#if MUDS_SPILL_POSIX
+// Creates an exclusive temp file in `dir` and unlinks it right away: the fd
+// keeps the extent alive, the directory entry never outlives the process.
+int OpenUnlinkedFile(const std::string& dir, std::string* error) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "/muds_spill_%d_%d.bin",
+                  static_cast<int>(::getpid()), attempt);
+    std::string path = dir + name;
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
+    if (fd < 0) {
+      if (errno == EEXIST) continue;
+      *error = path + ": " + std::strerror(errno);
+      return -1;
+    }
+    ::unlink(path.c_str());
+    return fd;
+  }
+  *error = dir + ": could not create a unique spill file";
+  return -1;
+}
+
+Status FullPwrite(int fd, const void* data, size_t bytes, uint64_t offset) {
+  const char* p = static_cast<const char*>(data);
+  while (bytes > 0) {
+    ssize_t n = ::pwrite(fd, p, bytes, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("spill pwrite: ") +
+                             std::strerror(errno));
+    }
+    p += n;
+    bytes -= static_cast<size_t>(n);
+    offset += static_cast<uint64_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status FullPread(int fd, void* out, size_t bytes, uint64_t offset) {
+  char* p = static_cast<char*>(out);
+  while (bytes > 0) {
+    ssize_t n = ::pread(fd, p, bytes, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("spill pread: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IoError("spill pread: unexpected end of file");
+    }
+    p += n;
+    bytes -= static_cast<size_t>(n);
+    offset += static_cast<uint64_t>(n);
+  }
+  return Status::Ok();
+}
+#endif  // MUDS_SPILL_POSIX
+
+}  // namespace
+
+Result<std::unique_ptr<SpillPool>> SpillPool::Create(
+    const SpillConfig& config) {
+  if (!config.enabled()) {
+    return Status::InvalidArgument("spill: no spill directory configured");
+  }
+#if MUDS_SPILL_POSIX
+  std::string error;
+  int fd = OpenUnlinkedFile(config.dir, &error);
+  if (fd < 0) return Status::IoError("spill: " + error);
+  return std::unique_ptr<SpillPool>(new SpillPool(fd, config.budget_bytes));
+#else
+  return Status::IoError("spill: not supported on this platform");
+#endif
+}
+
+SpillPool::SpillPool(int fd, size_t budget_bytes)
+    : fd_(fd), budget_bytes_(budget_bytes) {}
+
+SpillPool::~SpillPool() {
+#if MUDS_SPILL_POSIX
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+uint64_t SpillPool::AllocateSlots(uint64_t slots) {
+  // First fit over the coalesced free list.
+  for (auto it = free_extents_.begin(); it != free_extents_.end(); ++it) {
+    if (it->second < slots) continue;
+    uint64_t offset = it->first;
+    uint64_t extent_slots = it->second;
+    free_extents_.erase(it);
+    if (extent_slots > slots) {
+      free_extents_.emplace(offset + slots * kSlotBytes, extent_slots - slots);
+    }
+    return offset;
+  }
+  // Grow the file, budget permitting.
+  if (budget_bytes_ != 0 && (file_slots_ + slots) * kSlotBytes > budget_bytes_) {
+    return SpillHandle::kInvalidOffset;
+  }
+  uint64_t offset = file_slots_ * kSlotBytes;
+  file_slots_ += slots;
+  return offset;
+}
+
+Result<SpillHandle> SpillPool::Write(const void* data, size_t bytes) {
+#if MUDS_SPILL_POSIX
+  if (bytes == 0) return Status::InvalidArgument("spill: empty write");
+  const uint64_t slots = SlotsFor(bytes);
+  uint64_t offset;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    offset = AllocateSlots(slots);
+    if (offset == SpillHandle::kInvalidOffset) {
+      return Status::OutOfRange("spill: budget exhausted");
+    }
+    slots_in_use_ += slots;
+    bytes_in_use_ += bytes;
+    ++num_writes_;
+  }
+  Status status = FullPwrite(fd_, data, bytes, offset);
+  if (!status.ok()) {
+    Free(SpillHandle{offset, bytes});
+    std::lock_guard<std::mutex> lock(mutex_);
+    --num_writes_;
+    return status;
+  }
+  return SpillHandle{offset, bytes};
+#else
+  (void)data;
+  (void)bytes;
+  return Status::IoError("spill: not supported on this platform");
+#endif
+}
+
+Status SpillPool::Read(const SpillHandle& handle, void* out) const {
+  return ReadAt(handle, 0, out, handle.bytes);
+}
+
+Status SpillPool::ReadAt(const SpillHandle& handle, uint64_t offset, void* out,
+                         size_t n) const {
+#if MUDS_SPILL_POSIX
+  if (!handle.valid()) return Status::InvalidArgument("spill: invalid handle");
+  if (offset + n > handle.bytes) {
+    return Status::OutOfRange("spill: read past end of extent");
+  }
+  if (n == 0) return Status::Ok();
+  return FullPread(fd_, out, n, handle.offset + offset);
+#else
+  (void)handle;
+  (void)offset;
+  (void)out;
+  (void)n;
+  return Status::IoError("spill: not supported on this platform");
+#endif
+}
+
+void SpillPool::Free(const SpillHandle& handle) {
+  if (!handle.valid()) return;
+  const uint64_t slots = SlotsFor(handle.bytes);
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_in_use_ -= slots;
+  bytes_in_use_ -= handle.bytes;
+  auto [it, inserted] = free_extents_.emplace(handle.offset, slots);
+  if (!inserted) return;  // Double free; keep the original extent.
+  // Coalesce with the following extent, then with the preceding one.
+  auto next = std::next(it);
+  if (next != free_extents_.end() &&
+      it->first + it->second * kSlotBytes == next->first) {
+    it->second += next->second;
+    free_extents_.erase(next);
+  }
+  if (it != free_extents_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second * kSlotBytes == it->first) {
+      prev->second += it->second;
+      free_extents_.erase(it);
+    }
+  }
+}
+
+size_t SpillPool::BytesInUse() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_in_use_;
+}
+
+size_t SpillPool::FileBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return file_slots_ * kSlotBytes;
+}
+
+int64_t SpillPool::NumWrites() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return num_writes_;
+}
+
+}  // namespace muds

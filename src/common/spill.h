@@ -1,0 +1,123 @@
+#ifndef MUDS_COMMON_SPILL_H_
+#define MUDS_COMMON_SPILL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace muds {
+
+/// Where (and how much) a component may spill to disk. An empty `dir`
+/// disables spilling everywhere; this is the single knob the CLI exposes
+/// (`--spill-dir`, `--spill-budget-mb`) and every tiered subsystem — the
+/// two-tier PliCache, the external sort-merge SPIDER, the column store —
+/// consumes.
+struct SpillConfig {
+  /// Directory the spill files are created in. Empty = spilling disabled.
+  std::string dir;
+  /// Byte budget for one spill pool's file (0 = unlimited). When the pool
+  /// is full, writes fail and the caller falls back to its in-memory
+  /// behavior (dropping + rebuilding instead of spilling + reloading).
+  size_t budget_bytes = 0;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+/// Handle to one allocation inside a SpillPool. Handles are plain values:
+/// copyable, comparable against Invalid(), and only meaningful to the pool
+/// that issued them.
+struct SpillHandle {
+  static constexpr uint64_t kInvalidOffset = ~uint64_t{0};
+
+  uint64_t offset = kInvalidOffset;  // Slot-aligned file offset.
+  uint64_t bytes = 0;                // Payload size (<= slot span).
+
+  bool valid() const { return offset != kInvalidOffset; }
+};
+
+/// Slot-based disk pool for spilled payloads (cold PLIs, sorted runs).
+///
+/// One pool owns one file, created in `config.dir` and unlinked immediately
+/// after opening, so the space is reclaimed by the kernel even on a crash.
+/// The file is carved into fixed-size slots; an allocation takes a
+/// contiguous extent of slots (first-fit over a coalescing free list), so a
+/// spilled payload is always one positioned read away. `config.budget_bytes`
+/// caps the file size: when no free extent fits and growing would exceed
+/// the budget, Write fails and the caller keeps its in-memory fallback —
+/// the pool never blocks or evicts on its own.
+///
+/// Thread safety: all methods are safe to call concurrently. The extent
+/// allocator is guarded by one mutex; the data path uses positioned
+/// pread/pwrite, so concurrent reads and writes to different extents do
+/// not serialize on a file cursor.
+class SpillPool {
+ public:
+  /// Slot granularity. Small enough that a spilled single-column PLI of a
+  /// modest relation does not waste most of its extent, large enough that
+  /// the free list stays short.
+  static constexpr size_t kSlotBytes = size_t{64} << 10;
+
+  /// Creates the pool's backing file in `config.dir` (which must exist).
+  static Result<std::unique_ptr<SpillPool>> Create(const SpillConfig& config);
+
+  ~SpillPool();
+  SpillPool(const SpillPool&) = delete;
+  SpillPool& operator=(const SpillPool&) = delete;
+
+  /// Writes `bytes` bytes to a free extent and returns its handle. Fails
+  /// with OutOfRange when the budget would be exceeded and with IoError on
+  /// a failed write.
+  Result<SpillHandle> Write(const void* data, size_t bytes);
+
+  /// Reads the full payload of `handle` into `out` (which must have room
+  /// for handle.bytes bytes).
+  Status Read(const SpillHandle& handle, void* out) const;
+
+  /// Reads `n` bytes starting `offset` bytes into the payload of `handle` —
+  /// the streaming entry point the external-merge readers use.
+  Status ReadAt(const SpillHandle& handle, uint64_t offset, void* out,
+                size_t n) const;
+
+  /// Returns the extent to the free list. Invalid handles are ignored.
+  void Free(const SpillHandle& handle);
+
+  /// Payload bytes currently allocated.
+  size_t BytesInUse() const;
+  /// Current size of the backing file (high-water mark; never shrinks).
+  size_t FileBytes() const;
+  /// Total successful Write calls.
+  int64_t NumWrites() const;
+  size_t budget_bytes() const { return budget_bytes_; }
+
+ private:
+  SpillPool(int fd, size_t budget_bytes);
+
+  static uint64_t SlotsFor(uint64_t bytes) {
+    return (bytes + kSlotBytes - 1) / kSlotBytes;
+  }
+
+  // Allocates a contiguous extent of `slots` slots; returns the slot-aligned
+  // offset or SpillHandle::kInvalidOffset when the budget is exhausted.
+  // Caller must hold mutex_.
+  uint64_t AllocateSlots(uint64_t slots);
+
+  const int fd_;
+  const size_t budget_bytes_;
+
+  mutable std::mutex mutex_;
+  // Free extents, keyed by slot offset -> slot count; adjacent extents are
+  // coalesced on Free, so long-lived pools do not fragment.
+  std::map<uint64_t, uint64_t> free_extents_;
+  uint64_t file_slots_ = 0;     // Slots the file currently spans.
+  uint64_t slots_in_use_ = 0;   // Allocated slots.
+  uint64_t bytes_in_use_ = 0;   // Allocated payload bytes.
+  int64_t num_writes_ = 0;
+};
+
+}  // namespace muds
+
+#endif  // MUDS_COMMON_SPILL_H_

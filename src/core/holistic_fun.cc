@@ -11,8 +11,22 @@
 
 namespace muds {
 
+namespace {
+
+std::vector<Ind> DiscoverInds(const Relation& relation,
+                              const SpillConfig& spill) {
+  if (spill.enabled()) {
+    SpiderExternalOptions external;
+    external.spill = spill;
+    return Spider::DiscoverExternal(relation, external);
+  }
+  return Spider::Discover(relation);
+}
+
+}  // namespace
+
 HolisticResult HolisticFun::Run(const Relation& relation, int num_threads,
-                                PliImpl pli_impl) {
+                                PliImpl pli_impl, const SpillConfig& spill) {
   HolisticResult result;
   ThreadPool pool(num_threads);
   result.num_threads_used = pool.NumThreads();
@@ -23,12 +37,12 @@ HolisticResult HolisticFun::Run(const Relation& relation, int num_threads,
     // thread-safe). Register SPIDER first to keep the paper's phase order.
     result.timings.Add("SPIDER", 0);
     std::future<std::pair<std::vector<Ind>, int64_t>> inds =
-        pool.Submit([&relation] {
+        pool.Submit([&relation, &spill] {
           // Trace-only span: PhaseTimings is not thread-safe, so the task
           // measures its own time and the caller merges it below.
           MUDS_TRACE_SPAN("SPIDER");
           Timer timer;
-          std::vector<Ind> discovered = Spider::Discover(relation);
+          std::vector<Ind> discovered = DiscoverInds(relation, spill);
           return std::make_pair(std::move(discovered),
                                 timer.ElapsedMicros());
         });
@@ -47,7 +61,7 @@ HolisticResult HolisticFun::Run(const Relation& relation, int num_threads,
   }
   {
     MUDS_TRACE_SPAN(&result.timings, "SPIDER");
-    result.inds = Spider::Discover(relation);
+    result.inds = DiscoverInds(relation, spill);
   }
   {
     MUDS_TRACE_SPAN(&result.timings, "FUN");
@@ -62,18 +76,18 @@ HolisticResult HolisticFun::Run(const Relation& relation, int num_threads,
 
 HolisticResult Baseline::Run(const Relation& relation, uint64_t seed,
                              int num_threads, size_t pli_budget_bytes,
-                             PliImpl pli_impl) {
+                             PliImpl pli_impl, const SpillConfig& spill) {
   HolisticResult result;
   ThreadPool pool(num_threads);
   result.num_threads_used = pool.NumThreads();
   {
     MUDS_TRACE_SPAN(&result.timings, "SPIDER");
-    result.inds = Spider::Discover(relation);
+    result.inds = DiscoverInds(relation, spill);
   }
   {
     MUDS_TRACE_SPAN(&result.timings, "DUCC");
     // DUCC builds its own PLIs: no sharing in the baseline.
-    PliCache cache(relation, pli_budget_bytes, &pool, pli_impl);
+    PliCache cache(relation, pli_budget_bytes, &pool, pli_impl, spill);
     Ducc::Options options;
     options.seed = seed;
     result.uccs = Ducc::Discover(relation, &cache, options);
@@ -82,6 +96,8 @@ HolisticResult Baseline::Run(const Relation& relation, uint64_t seed,
     result.pli_cache_hits = stats.hits;
     result.pli_cache_misses = stats.misses;
     result.pli_cache_evictions = stats.evictions;
+    result.pli_cache_spill_writes = stats.spill_writes;
+    result.pli_cache_spill_reloads = stats.spill_reloads;
   }
   {
     MUDS_TRACE_SPAN(&result.timings, "FUN");

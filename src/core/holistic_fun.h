@@ -1,6 +1,7 @@
 #ifndef MUDS_CORE_HOLISTIC_FUN_H_
 #define MUDS_CORE_HOLISTIC_FUN_H_
 
+#include "common/spill.h"
 #include "common/timer.h"
 #include "data/metadata.h"
 #include "data/relation.h"
@@ -21,6 +22,8 @@ struct HolisticResult {
   int64_t pli_cache_hits = 0;
   int64_t pli_cache_misses = 0;
   int64_t pli_cache_evictions = 0;
+  int64_t pli_cache_spill_writes = 0;
+  int64_t pli_cache_spill_reloads = 0;
   /// Threads the run actually used (0 in `num_threads` resolves to the
   /// hardware concurrency).
   int num_threads_used = 1;
@@ -40,8 +43,10 @@ class HolisticFun {
   /// elapsed time, so they can sum to more than the wall clock.
   /// `pli_impl` selects the PLI representation FUN materializes its
   /// lattice with (the discovered sets are identical for every choice).
+  /// `spill` (when enabled) routes SPIDER through its external sort-merge.
   static HolisticResult Run(const Relation& relation, int num_threads = 1,
-                            PliImpl pli_impl = PliImpl::kAuto);
+                            PliImpl pli_impl = PliImpl::kAuto,
+                            const SpillConfig& spill = SpillConfig());
 };
 
 /// The evaluation baseline (§6): the sequential execution of the three
@@ -57,10 +62,13 @@ class Baseline {
  public:
   /// `pli_budget_bytes` bounds DUCC's private PLI cache (0 = unlimited);
   /// the discovered dependency sets are identical for every budget.
+  /// `spill` (when enabled) gives that cache a cold tier and routes SPIDER
+  /// through the external sort-merge.
   static HolisticResult Run(const Relation& relation, uint64_t seed = 1,
                             int num_threads = 1,
                             size_t pli_budget_bytes = size_t{1} << 30,
-                            PliImpl pli_impl = PliImpl::kAuto);
+                            PliImpl pli_impl = PliImpl::kAuto,
+                            const SpillConfig& spill = SpillConfig());
 };
 
 }  // namespace muds

@@ -454,6 +454,10 @@ MudsResult MudsRunner::Run() {
   result_.stats.pli_cache_misses = cache_stats.misses;
   result_.stats.pli_cache_evictions = cache_stats.evictions;
   result_.stats.pli_cache_bytes = cache_stats.bytes_cached;
+  result_.stats.pli_cache_pinned_bytes = cache_stats.pinned_bytes;
+  result_.stats.pli_cache_spill_writes = cache_stats.spill_writes;
+  result_.stats.pli_cache_spill_reloads = cache_stats.spill_reloads;
+  result_.stats.pli_cache_spill_bytes = cache_stats.spill_bytes;
   return result_;
 }
 
@@ -463,16 +467,25 @@ void MudsRunner::RunSpider() {
   // constructing the cache here mirrors that shared scan. SPIDER and the
   // PLI build read disjoint state, so with a parallel pool SPIDER runs on a
   // worker while the caller drives the per-column PLI construction.
+  // With a spill directory configured, SPIDER merges disk-resident runs
+  // instead of in-memory dictionaries (same INDs, bounded memory).
+  const auto discover_inds = [this] {
+    if (options_.spill.enabled()) {
+      SpiderExternalOptions external;
+      external.spill = options_.spill;
+      return Spider::DiscoverExternal(relation_, external);
+    }
+    return Spider::Discover(relation_);
+  };
   if (pool_->NumThreads() > 1) {
-    std::future<std::vector<Ind>> inds =
-        pool_->Submit([this] { return Spider::Discover(relation_); });
+    std::future<std::vector<Ind>> inds = pool_->Submit(discover_inds);
     cache_.emplace(relation_, options_.pli_budget_bytes, &*pool_,
-                   options_.pli_impl);
+                   options_.pli_impl, options_.spill);
     result_.inds = inds.get();
   } else {
-    result_.inds = Spider::Discover(relation_);
+    result_.inds = discover_inds();
     cache_.emplace(relation_, options_.pli_budget_bytes, nullptr,
-                   options_.pli_impl);
+                   options_.pli_impl, options_.spill);
   }
   active_ = relation_.ActiveColumns();
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/spill.h"
 #include "common/timer.h"
 #include "data/metadata.h"
 #include "data/relation.h"
@@ -69,9 +70,19 @@ struct MudsOptions {
   /// PLI representation strategy for the shared cache (--pli-impl). The
   /// discovered IND/UCC/FD sets are identical for every choice; kAuto
   /// attaches the low-cardinality bitmap sidecar where it pays off, kCsr
-  /// forces the flat-CSR reference layout, kBitmap attaches the sidecar
+  /// forces the flat-CSR reference layout, kBitmap forces the sidecar
   /// whenever representable.
   PliImpl pli_impl = PliImpl::kAuto;
+
+  /// Tiered-storage configuration (--spill-dir / --spill-budget-mb). When
+  /// enabled, PLI-cache evictions demote entries to a disk spill file
+  /// (reloaded on the next probe instead of rebuilt by intersect chains)
+  /// and SPIDER switches to its external sort-merge over disk-resident
+  /// runs. The discovered dependency sets are identical with spill on or
+  /// off; only runtime, memory, and the spill counters differ. The byte
+  /// budget applies to each spill file (the PLI tier and the SPIDER runs
+  /// use separate, independently capped files).
+  SpillConfig spill;
 };
 
 /// Counters describing what MUDS did; benches report these alongside
@@ -91,6 +102,12 @@ struct MudsStats {
   int64_t pli_cache_misses = 0;
   int64_t pli_cache_evictions = 0;
   int64_t pli_cache_bytes = 0;
+  /// Bytes pinned by the single-column/∅ working set, and the cold-tier
+  /// traffic when a spill directory is configured (0 otherwise).
+  int64_t pli_cache_pinned_bytes = 0;
+  int64_t pli_cache_spill_writes = 0;
+  int64_t pli_cache_spill_reloads = 0;
+  int64_t pli_cache_spill_bytes = 0;
   /// Threads the run actually used (MudsOptions::num_threads resolved, so
   /// 0 shows up as the hardware concurrency).
   int num_threads_used = 1;

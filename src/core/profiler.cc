@@ -79,6 +79,7 @@ ProfilingResult RunOnDeduped(const Relation& relation,
       muds_options.num_threads = options.num_threads;
       muds_options.pli_budget_bytes = options.pli_budget_bytes;
       muds_options.pli_impl = options.pli_impl;
+      muds_options.spill = options.spill;
       MudsResult muds = Muds::Run(relation, muds_options);
       result.inds = std::move(muds.inds);
       result.uccs = std::move(muds.uccs);
@@ -96,6 +97,10 @@ ProfilingResult RunOnDeduped(const Relation& relation,
           {"pli_cache_misses", muds.stats.pli_cache_misses},
           {"pli_cache_evictions", muds.stats.pli_cache_evictions},
           {"pli_cache_bytes", muds.stats.pli_cache_bytes},
+          {"pli_cache_pinned_bytes", muds.stats.pli_cache_pinned_bytes},
+          {"pli_cache_spill_writes", muds.stats.pli_cache_spill_writes},
+          {"pli_cache_spill_reloads", muds.stats.pli_cache_spill_reloads},
+          {"pli_cache_spill_bytes", muds.stats.pli_cache_spill_bytes},
           {"connector_lookups", muds.stats.connector_lookups},
           {"shadowed_tasks", muds.stats.shadowed_tasks},
           {"shadowed_rounds", muds.stats.shadowed_rounds},
@@ -110,9 +115,10 @@ ProfilingResult RunOnDeduped(const Relation& relation,
       HolisticResult holistic =
           options.algorithm == Algorithm::kHolisticFun
               ? HolisticFun::Run(relation, options.num_threads,
-                                 options.pli_impl)
+                                 options.pli_impl, options.spill)
               : Baseline::Run(relation, options.seed, options.num_threads,
-                              options.pli_budget_bytes, options.pli_impl);
+                              options.pli_budget_bytes, options.pli_impl,
+                              options.spill);
       result.inds = std::move(holistic.inds);
       result.uccs = std::move(holistic.uccs);
       result.fds = std::move(holistic.fds);
@@ -123,6 +129,8 @@ ProfilingResult RunOnDeduped(const Relation& relation,
           {"pli_cache_hits", holistic.pli_cache_hits},
           {"pli_cache_misses", holistic.pli_cache_misses},
           {"pli_cache_evictions", holistic.pli_cache_evictions},
+          {"pli_cache_spill_writes", holistic.pli_cache_spill_writes},
+          {"pli_cache_spill_reloads", holistic.pli_cache_spill_reloads},
           {"num_threads", holistic.num_threads_used},
       };
       break;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/spill.h"
 #include "common/status.h"
 #include "common/timer.h"
 #include "core/muds.h"
@@ -72,6 +73,12 @@ struct ProfileOptions {
   /// engine. The discovered dependency sets are identical for every
   /// choice; the axis exists for A/B debugging and perf work.
   PliImpl pli_impl = PliImpl::kAuto;
+  /// Tiered-storage configuration (--spill-dir / --spill-budget-mb),
+  /// applied to every engine: PLI-cache evictions demote to a disk spill
+  /// file and SPIDER streams disk-resident runs. Overrides `muds.spill`
+  /// the same way `seed` overrides `muds.seed`. The discovered dependency
+  /// sets are identical with spill on or off.
+  SpillConfig spill;
   /// MUDS-specific knobs (its `seed` field is overridden by `seed` above).
   MudsOptions muds;
   /// CSV dialect for the CSV entry points.

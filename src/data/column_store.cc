@@ -1,0 +1,193 @@
+#include "data/column_store.h"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+namespace muds {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'U', 'D', 'S', 'C', 'O', 'L', '1'};
+
+// Fixed-size file header; the extent table and the names region follow.
+struct StoreHeader {
+  char magic[8];
+  uint32_t num_columns;
+  uint32_t reserved;
+  uint64_t num_rows;
+  uint64_t names_bytes;  // Relation name + column names, length-prefixed.
+};
+
+void AppendString(std::string* out, std::string_view value) {
+  const uint32_t length = static_cast<uint32_t>(value.size());
+  out->append(reinterpret_cast<const char*>(&length), sizeof(length));
+  out->append(value.data(), value.size());
+}
+
+// Reads one [uint32 len][bytes] string from `in` at `*pos`; false on a
+// truncated region.
+bool ConsumeString(std::string_view in, size_t* pos, std::string* out) {
+  if (in.size() - *pos < sizeof(uint32_t)) return false;
+  uint32_t length;
+  std::memcpy(&length, in.data() + *pos, sizeof(length));
+  *pos += sizeof(length);
+  if (in.size() - *pos < length) return false;
+  out->assign(in.data() + *pos, length);
+  *pos += length;
+  return true;
+}
+
+}  // namespace
+
+Status ColumnStore::Write(const Relation& relation, const std::string& path) {
+  const int n = relation.NumColumns();
+  const uint64_t num_rows = static_cast<uint64_t>(relation.NumRows());
+
+  std::string names;
+  AppendString(&names, relation.name());
+  for (const std::string& column_name : relation.ColumnNames()) {
+    AppendString(&names, column_name);
+  }
+
+  std::vector<ColumnExtent> extents(static_cast<size_t>(n));
+  uint64_t offset = sizeof(StoreHeader) +
+                    static_cast<uint64_t>(n) * sizeof(ColumnExtent) +
+                    names.size();
+  for (int c = 0; c < n; ++c) {
+    const Column& column = relation.GetColumn(c);
+    ColumnExtent& extent = extents[static_cast<size_t>(c)];
+    extent.dict_offset = offset;
+    extent.dict_count = column.dictionary.size();
+    uint64_t dict_bytes = 0;
+    for (const std::string& value : column.dictionary) {
+      dict_bytes += sizeof(uint32_t) + value.size();
+    }
+    extent.dict_bytes = dict_bytes;
+    offset += dict_bytes;
+    extent.codes_offset = offset;
+    offset += num_rows * sizeof(int32_t);
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError(path + ": cannot open for writing");
+  StoreHeader header;
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.num_columns = static_cast<uint32_t>(n);
+  header.reserved = 0;
+  header.num_rows = num_rows;
+  header.names_bytes = names.size();
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(extents.data()),
+            static_cast<std::streamsize>(extents.size() * sizeof(ColumnExtent)));
+  out.write(names.data(), static_cast<std::streamsize>(names.size()));
+  std::string dict_region;
+  for (int c = 0; c < n; ++c) {
+    const Column& column = relation.GetColumn(c);
+    dict_region.clear();
+    for (const std::string& value : column.dictionary) {
+      AppendString(&dict_region, value);
+    }
+    out.write(dict_region.data(),
+              static_cast<std::streamsize>(dict_region.size()));
+    out.write(reinterpret_cast<const char*>(column.codes.data()),
+              static_cast<std::streamsize>(column.codes.size() *
+                                           sizeof(int32_t)));
+  }
+  out.flush();
+  if (!out) return Status::IoError(path + ": write failed");
+  return Status::Ok();
+}
+
+Result<ColumnStore> ColumnStore::Open(const std::string& path) {
+  Result<MappedFile> mapped = MappedFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  MappedFile file = std::move(mapped.value());
+  const std::string_view view = file.view();
+  if (view.size() < sizeof(StoreHeader)) {
+    return Status::ParseError(path + ": not a column store (too short)");
+  }
+  StoreHeader header;
+  std::memcpy(&header, view.data(), sizeof(header));
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError(path + ": not a column store (bad magic)");
+  }
+  const uint64_t n = header.num_columns;
+  const uint64_t table_end =
+      sizeof(StoreHeader) + n * sizeof(ColumnExtent) + header.names_bytes;
+  if (view.size() < table_end) {
+    return Status::ParseError(path + ": truncated column store header");
+  }
+  std::vector<ColumnExtent> extents(static_cast<size_t>(n));
+  std::memcpy(extents.data(), view.data() + sizeof(StoreHeader),
+              static_cast<size_t>(n) * sizeof(ColumnExtent));
+  for (const ColumnExtent& extent : extents) {
+    const uint64_t codes_end =
+        extent.codes_offset + header.num_rows * sizeof(int32_t);
+    if (extent.dict_offset + extent.dict_bytes > view.size() ||
+        codes_end > view.size()) {
+      return Status::ParseError(path + ": column extent out of bounds");
+    }
+  }
+  const std::string_view names_region =
+      view.substr(sizeof(StoreHeader) + n * sizeof(ColumnExtent),
+                  header.names_bytes);
+  size_t pos = 0;
+  std::string name;
+  if (!ConsumeString(names_region, &pos, &name)) {
+    return Status::ParseError(path + ": truncated names region");
+  }
+  std::vector<std::string> column_names(static_cast<size_t>(n));
+  for (uint64_t c = 0; c < n; ++c) {
+    if (!ConsumeString(names_region, &pos, &column_names[c])) {
+      return Status::ParseError(path + ": truncated names region");
+    }
+  }
+  return ColumnStore(std::move(file), std::move(name), std::move(column_names),
+                     std::move(extents), static_cast<RowId>(header.num_rows));
+}
+
+Column ColumnStore::MaterializeColumn(int c) const {
+  const ColumnExtent& extent = columns_[static_cast<size_t>(c)];
+  const uint64_t codes_bytes =
+      static_cast<uint64_t>(num_rows_) * sizeof(int32_t);
+  // Prefetch both extents before touching them: the copy loop below then
+  // runs against pages already in flight instead of faulting one at a time.
+  file_.Advise(MappedFile::Advice::kWillNeed,
+               static_cast<size_t>(extent.dict_offset),
+               static_cast<size_t>(extent.dict_bytes));
+  file_.Advise(MappedFile::Advice::kWillNeed,
+               static_cast<size_t>(extent.codes_offset),
+               static_cast<size_t>(codes_bytes));
+  Column column;
+  column.dictionary.resize(static_cast<size_t>(extent.dict_count));
+  const std::string_view dict = DictionaryRun(c);
+  size_t pos = 0;
+  for (uint64_t i = 0; i < extent.dict_count; ++i) {
+    MUDS_CHECK(ConsumeString(dict, &pos, &column.dictionary[i]));
+  }
+  column.codes.resize(static_cast<size_t>(num_rows_));
+  if (num_rows_ > 0) {
+    std::memcpy(column.codes.data(),
+                file_.view().data() + extent.codes_offset,
+                static_cast<size_t>(codes_bytes));
+  }
+  return column;
+}
+
+std::string_view ColumnStore::DictionaryRun(int c) const {
+  const ColumnExtent& extent = columns_[static_cast<size_t>(c)];
+  return file_.view().substr(static_cast<size_t>(extent.dict_offset),
+                             static_cast<size_t>(extent.dict_bytes));
+}
+
+Relation ColumnStore::ToRelation() const {
+  std::vector<Column> columns;
+  columns.reserve(columns_.size());
+  for (int c = 0; c < NumColumns(); ++c) {
+    columns.push_back(MaterializeColumn(c));
+  }
+  return Relation(name_, column_names_, std::move(columns), num_rows_);
+}
+
+}  // namespace muds

@@ -1,0 +1,92 @@
+#ifndef MUDS_DATA_COLUMN_STORE_H_
+#define MUDS_DATA_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/mmap_file.h"
+#include "common/status.h"
+#include "data/relation.h"
+
+namespace muds {
+
+/// Disk-resident dictionary-encoded relation behind a single file mapping.
+///
+/// `Write` lays a relation out as one file: a header, a per-column extent
+/// table, then each column's dictionary (length-prefixed sorted values) and
+/// code array. `Open` maps the whole file read-only in one mmap call —
+/// nothing is materialized until asked for:
+///
+///  - `MaterializeColumn` copies one column back into an owned `Column`,
+///    prefetching its extents with madvise(WILLNEED) first; columns that are
+///    never touched never fault in.
+///  - `DictionaryRun` exposes a column's dictionary region verbatim. Its
+///    wire format is the sorted length-prefixed run the external SPIDER
+///    merge streams, so IND discovery over a stored relation reads straight
+///    from the mapping without rebuilding dictionaries.
+///  - `ToRelation` materializes everything — the fallback for consumers
+///    that need the plain in-memory `Relation` (small inputs skip the store
+///    entirely; see `CsvOptions::mmap_min_bytes` for the analogous ingest
+///    threshold).
+///
+/// The mapping is read-only and private; several threads may materialize
+/// different columns concurrently.
+class ColumnStore {
+ public:
+  /// Serializes `relation` to `path` (overwriting it).
+  static Status Write(const Relation& relation, const std::string& path);
+
+  /// Maps `path` and validates the header/extent table.
+  static Result<ColumnStore> Open(const std::string& path);
+
+  int NumColumns() const { return static_cast<int>(columns_.size()); }
+  RowId NumRows() const { return num_rows_; }
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& ColumnNames() const { return column_names_; }
+
+  /// Distinct-value count of column `c` (dictionary size) — available
+  /// without materializing anything.
+  int64_t Cardinality(int c) const {
+    return static_cast<int64_t>(columns_[static_cast<size_t>(c)].dict_count);
+  }
+
+  /// Copies column `c` out of the mapping (dictionary + codes), after
+  /// advising the kernel to prefetch its extents.
+  Column MaterializeColumn(int c) const;
+
+  /// The raw length-prefixed sorted dictionary region of column `c`
+  /// ([uint32 len][bytes]...), valid while the store is alive.
+  std::string_view DictionaryRun(int c) const;
+
+  /// Materializes the full relation.
+  Relation ToRelation() const;
+
+ private:
+  struct ColumnExtent {
+    uint64_t dict_offset = 0;
+    uint64_t dict_bytes = 0;
+    uint64_t dict_count = 0;
+    uint64_t codes_offset = 0;
+  };
+
+  ColumnStore(MappedFile file, std::string name,
+              std::vector<std::string> column_names,
+              std::vector<ColumnExtent> columns, RowId num_rows)
+      : file_(std::move(file)),
+        name_(std::move(name)),
+        column_names_(std::move(column_names)),
+        columns_(std::move(columns)),
+        num_rows_(num_rows) {}
+
+  MappedFile file_;
+  std::string name_;
+  std::vector<std::string> column_names_;
+  std::vector<ColumnExtent> columns_;
+  RowId num_rows_ = 0;
+};
+
+}  // namespace muds
+
+#endif  // MUDS_DATA_COLUMN_STORE_H_

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/mmap_file.h"
 #include "data/ingest.h"
 
 namespace muds {
@@ -229,6 +230,17 @@ Result<Relation> CsvReader::ReadFile(const std::string& path,
   in.seekg(0, std::ios::end);
   const std::streamoff size = in.tellg();
   if (size < 0) return Status::IoError("error reading " + path);
+  if (static_cast<size_t>(size) >= options.mmap_min_bytes) {
+    // Large input: parse straight out of a read-only mapping. The relation
+    // owns copies of everything it keeps, so the mapping is dropped as soon
+    // as the parse returns.
+    Result<MappedFile> mapped = MappedFile::Open(path);
+    if (mapped.ok()) {
+      mapped.value().Advise(MappedFile::Advice::kSequential);
+      return ReadString(mapped.value().view(), options, path);
+    }
+    // Fall through to the buffered read on any mapping failure.
+  }
   in.seekg(0, std::ios::beg);
   std::string buffer(static_cast<size_t>(size), '\0');
   if (size > 0) {

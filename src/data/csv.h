@@ -57,6 +57,13 @@ struct CsvOptions {
   /// Tests set tiny values to force chunk boundaries into quoted fields;
   /// the result does not depend on the chunking.
   size_t chunk_bytes = 0;
+  /// Files at least this large are mmap'ed (with sequential read-ahead
+  /// advice) instead of copied into an allocated buffer in buffered mode —
+  /// the parse borrows string_views straight from the mapping, so the
+  /// file's bytes are never duplicated in memory. Smaller inputs keep the
+  /// single-allocation read; SIZE_MAX disables mapping. If mmap fails the
+  /// reader silently falls back to the buffered read.
+  size_t mmap_min_bytes = size_t{8} << 20;
 };
 
 /// Parses RFC-4180-style CSV: quoted fields may contain separators,

@@ -2,18 +2,19 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <deque>
 #include <string>
 #include <string_view>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 
@@ -28,6 +29,104 @@ constexpr size_t kMinAutoChunkBytes = size_t{256} << 10;
 // Chunks per worker thread: a few more than one so record-density skew
 // between chunks balances out through the pool's dynamic claiming.
 constexpr int kChunksPerThread = 4;
+
+// 64-bit string hash over 8-byte chunks (multiply-xor mixing). Only used to
+// distribute keys across the interning table — codes are assigned in
+// first-seen order and the merge sort assigns the final ranks, so the
+// encoded relation does not depend on this function.
+uint64_t HashBytes(const char* data, size_t n) {
+  uint64_t h = 0x9E3779B97F4A7C15ull ^ (n * 0xA0761D6478BD642Full);
+  while (n >= 8) {
+    uint64_t k;
+    std::memcpy(&k, data, 8);
+    k *= 0x9DDFEA08EB382D69ull;
+    k ^= k >> 32;
+    h = (h ^ k) * 0xC2B2AE3D27D4EB4Full;
+    data += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    uint64_t k = 0;
+    std::memcpy(&k, data, n);
+    k *= 0x9DDFEA08EB382D69ull;
+    k ^= k >> 32;
+    h = (h ^ k) * 0xC2B2AE3D27D4EB4Full;
+  }
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 32;
+  return h;
+}
+
+// SwissTable-style flat interning table for the per-chunk dictionary
+// encode: one control byte (7 hash bits) per slot, probed 16 slots at a
+// time with simd::MatchTag16, open addressing over groups, no deletions.
+// Replaces the previous std::unordered_map<string_view, int32_t> — the
+// hash/compare loop here is the encode hot path, and the group probe turns
+// its per-cell bucket walk into one SIMD compare plus (almost always) at
+// most one full key compare.
+class InternTable {
+ public:
+  static constexpr size_t kGroup = 16;
+  static constexpr uint8_t kEmpty = 0xFF;  // Tags keep the high bit clear.
+
+  // Prepares the table for up to `expected` distinct keys; `expected` is a
+  // hard bound (one column cannot have more distinct values than rows), so
+  // the table never grows mid-encode. Reusing the instance across columns
+  // keeps the allocation and resets only the control bytes.
+  void Reset(size_t expected) {
+    size_t capacity = kGroup;
+    while (capacity < expected + expected / 4 + kGroup) capacity <<= 1;
+    if (capacity != tags_.size()) {
+      tags_.assign(capacity, kEmpty);
+      keys_.resize(capacity);
+      ids_.resize(capacity);
+    } else {
+      std::memset(tags_.data(), kEmpty, capacity);
+    }
+    group_mask_ = capacity / kGroup - 1;
+  }
+
+  // Returns the id of `value`, inserting it with id `next_id` when absent;
+  // *inserted reports which happened.
+  int32_t Intern(std::string_view value, int32_t next_id, bool* inserted) {
+    const uint64_t hash = HashBytes(value.data(), value.size());
+    const uint8_t tag = static_cast<uint8_t>(hash & 0x7F);
+    size_t group = (hash >> 7) & group_mask_;
+    for (;;) {
+      const uint8_t* tags = tags_.data() + group * kGroup;
+      uint32_t match = simd::MatchTag16(tags, tag);
+      while (match != 0) {
+        const size_t slot =
+            group * kGroup + static_cast<size_t>(std::countr_zero(match));
+        if (keys_[slot] == value) {
+          *inserted = false;
+          return ids_[slot];
+        }
+        match &= match - 1;
+      }
+      const uint32_t empty = simd::MatchTag16(tags, kEmpty);
+      if (empty != 0) {
+        // With no deletions, the first group holding an empty slot ends the
+        // probe chain: the key cannot live further along.
+        const size_t slot =
+            group * kGroup + static_cast<size_t>(std::countr_zero(empty));
+        tags_[slot] = tag;
+        keys_[slot] = value;
+        ids_[slot] = next_id;
+        *inserted = true;
+        return next_id;
+      }
+      group = (group + 1) & group_mask_;
+    }
+  }
+
+ private:
+  std::vector<uint8_t> tags_;
+  std::vector<std::string_view> keys_;
+  std::vector<int32_t> ids_;
+  size_t group_mask_ = 0;
+};
 
 int ResolveThreads(int num_threads) {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -486,22 +585,22 @@ Result<Relation> IngestCsv(std::string_view text, const CsvOptions& options,
       ChunkDicts& dict = dicts[static_cast<size_t>(i)];
       dict.distinct.resize(static_cast<size_t>(num_columns));
       dict.codes.resize(static_cast<size_t>(num_columns));
-      std::unordered_map<std::string_view, int32_t> id_of;
-      // One bucket allocation for the whole chunk: clear() keeps buckets,
-      // and no column can have more distinct values than rows.
-      id_of.reserve(static_cast<size_t>(rows));
+      InternTable id_of;
       for (int c = 0; c < num_columns; ++c) {
         const auto& values = chunk.columns[static_cast<size_t>(c)];
         auto& distinct = dict.distinct[static_cast<size_t>(c)];
         auto& codes = dict.codes[static_cast<size_t>(c)];
         codes.reserve(static_cast<size_t>(rows));
-        id_of.clear();
+        // One allocation for the whole chunk: later Resets at the same size
+        // only clear the control bytes.
+        id_of.Reset(static_cast<size_t>(rows));
         for (int64_t row = 0; row < rows; ++row) {
           const std::string_view value = values[static_cast<size_t>(row)];
-          const auto [it, inserted] = id_of.try_emplace(
-              value, static_cast<int32_t>(distinct.size()));
+          bool inserted;
+          const int32_t id = id_of.Intern(
+              value, static_cast<int32_t>(distinct.size()), &inserted);
           if (inserted) distinct.push_back(value);
-          codes.push_back(it->second);
+          codes.push_back(id);
           // Near-unique column (a key, say): deduplicating here buys
           // nothing — the merge sort deduplicates anyway, and duplicate
           // entries in `distinct` are harmless (each gets the same rank).

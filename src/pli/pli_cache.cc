@@ -1,10 +1,12 @@
 #include "pli/pli_cache.h"
 
+#include <cstdio>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace muds {
 
@@ -20,7 +22,11 @@ struct CacheCounters {
   Counter* misses;
   Counter* evictions;
   Counter* intersects;
+  Counter* spill_writes;
+  Counter* spill_reloads;
   Gauge* bytes_cached;
+  Gauge* pinned_bytes;
+  Gauge* spill_bytes;
 
   static const CacheCounters& Get() {
     static const CacheCounters counters = [] {
@@ -30,7 +36,11 @@ struct CacheCounters {
       c.misses = registry.GetCounter("pli_cache.misses");
       c.evictions = registry.GetCounter("pli_cache.evictions");
       c.intersects = registry.GetCounter("pli_cache.intersects");
+      c.spill_writes = registry.GetCounter("pli_cache.spill_writes");
+      c.spill_reloads = registry.GetCounter("pli_cache.spill_reloads");
       c.bytes_cached = registry.GetGauge("pli_cache.bytes_cached");
+      c.pinned_bytes = registry.GetGauge("pli_cache.pinned_bytes");
+      c.spill_bytes = registry.GetGauge("pli_cache.spill_bytes");
       return c;
     }();
     return counters;
@@ -40,9 +50,19 @@ struct CacheCounters {
 }  // namespace
 
 PliCache::PliCache(const Relation& relation, size_t budget_bytes,
-                   ThreadPool* pool, PliImpl impl)
+                   ThreadPool* pool, PliImpl impl, const SpillConfig& spill)
     : relation_(&relation), budget_bytes_(budget_bytes), impl_(impl) {
   CacheCounters::Get();  // Register the pli_cache.* metrics.
+  if (spill.enabled() && budget_bytes_ != kUnlimitedBudget) {
+    Result<std::unique_ptr<SpillPool>> created = SpillPool::Create(spill);
+    if (created.ok()) {
+      spill_pool_ = std::move(created.value());
+    } else {
+      std::fprintf(stderr,
+                   "muds: warning: %s; PLI cache runs without a spill tier\n",
+                   created.status().message().c_str());
+    }
+  }
   const int n = relation.NumColumns();
   std::vector<std::shared_ptr<const Pli>> singles(static_cast<size_t>(n));
   const auto build = [&](int64_t c) {
@@ -61,16 +81,71 @@ PliCache::PliCache(const Relation& relation, size_t budget_bytes,
   Insert(ColumnSet(),
          std::make_shared<Pli>(Pli::ForEmptySet(relation.NumRows(), impl_)),
          /*pinned=*/true);
+  const size_t pinned = pinned_bytes_.load(std::memory_order_relaxed);
+  if (budget_bytes_ != kUnlimitedBudget && pinned > budget_bytes_) {
+    std::fprintf(stderr,
+                 "muds: warning: pinned single-column PLIs hold %zu bytes, "
+                 "more than the %zu-byte PLI budget; eviction cannot reach "
+                 "the budget (raise --pli-budget-mb)\n",
+                 pinned, budget_bytes_);
+  }
 }
 
-std::shared_ptr<const Pli> PliCache::Find(const ColumnSet& columns) const {
-  const Shard& shard = ShardFor(columns);
+void PliCache::ChargeHotEntry(Shard* shard, const ColumnSet& columns,
+                              Entry* entry) {
+  if (!entry->pinned) shard->clock.push_back(columns);
+  bytes_cached_.fetch_add(entry->bytes, std::memory_order_relaxed);
+  CacheCounters::Get().bytes_cached->Add(static_cast<int64_t>(entry->bytes));
+  if (entry->pinned) {
+    pinned_bytes_.fetch_add(entry->bytes, std::memory_order_relaxed);
+    CacheCounters::Get().pinned_bytes->Add(
+        static_cast<int64_t>(entry->bytes));
+  }
+  num_cached_.fetch_add(1, std::memory_order_release);
+}
+
+std::shared_ptr<const Pli> PliCache::Find(const ColumnSet& columns) {
+  Shard& shard = ShardFor(columns);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.map.find(columns);
   if (it == shard.map.end()) return nullptr;
+  Entry& entry = it->second;
+  if (entry.pli == nullptr) {
+    // Cold entry: reload from the spill tier. One positioned read plus a
+    // deserialize — this is the rebuild-avoiding path the tier exists for.
+    MUDS_TRACE_SPAN("pliCacheReload");
+    MUDS_CHECK(entry.spilled.valid() && spill_pool_ != nullptr);
+    std::vector<char> buffer(entry.spilled.bytes);
+    Status read = spill_pool_->Read(entry.spilled, buffer.data());
+    Result<Pli> reloaded = read.ok()
+                               ? Pli::Deserialize(buffer.data(), buffer.size())
+                               : Result<Pli>(read);
+    if (!reloaded.ok()) {
+      // Treat an unreadable disk copy as a plain miss: drop the entry and
+      // let the caller rebuild.
+      spill_bytes_.fetch_sub(entry.spilled.bytes, std::memory_order_relaxed);
+      CacheCounters::Get().spill_bytes->Add(
+          -static_cast<int64_t>(entry.spilled.bytes));
+      spill_pool_->Free(entry.spilled);
+      shard.map.erase(it);
+      return nullptr;
+    }
+    entry.pli = std::make_shared<Pli>(std::move(reloaded.value()));
+    entry.bytes = entry.pli->MemoryBytes();
+    entry.referenced = true;
+    ChargeHotEntry(&shard, columns, &entry);
+    spill_reloads_.fetch_add(1, std::memory_order_relaxed);
+    CacheCounters::Get().spill_reloads->Increment();
+    // The reload re-charges the budget; make room. Copy the result first —
+    // the evictor may demote this very entry again (it gets its second
+    // chance, but it can be the only unpinned entry in the shard).
+    std::shared_ptr<const Pli> result = entry.pli;
+    EvictFromShard(&shard);
+    return result;
+  }
   // Safe under the shard mutex; gives the entry its second chance.
-  const_cast<Entry&>(it->second).referenced = true;
-  return it->second.pli;
+  entry.referenced = true;
+  return entry.pli;
 }
 
 void PliCache::EvictFromShard(Shard* shard) {
@@ -80,7 +155,8 @@ void PliCache::EvictFromShard(Shard* shard) {
     ColumnSet victim = std::move(shard->clock.front());
     shard->clock.pop_front();
     auto it = shard->map.find(victim);
-    if (it == shard->map.end()) continue;  // Already evicted; stale key.
+    if (it == shard->map.end()) continue;   // Already dropped; stale key.
+    if (it->second.pli == nullptr) continue;  // Already cold; stale key.
     // Pinned entries never enter the clock queue.
     MUDS_CHECK(!it->second.pinned);
     if (it->second.referenced) {
@@ -88,13 +164,39 @@ void PliCache::EvictFromShard(Shard* shard) {
       shard->clock.push_back(std::move(victim));
       continue;
     }
-    bytes_cached_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+    Entry& entry = it->second;
+    const CacheCounters& counters = CacheCounters::Get();
+    // Demote to the cold tier when possible; a still-valid disk copy from
+    // an earlier spill is reused without rewriting.
+    bool demoted = entry.spilled.valid();
+    if (!demoted && spill_pool_ != nullptr) {
+      MUDS_TRACE_SPAN("pliCacheSpill");
+      const size_t serialized = entry.pli->SerializedBytes();
+      std::vector<char> buffer(serialized);
+      entry.pli->SerializeTo(buffer.data());
+      Result<SpillHandle> written =
+          spill_pool_->Write(buffer.data(), serialized);
+      if (written.ok()) {
+        entry.spilled = written.value();
+        demoted = true;
+        spill_writes_.fetch_add(1, std::memory_order_relaxed);
+        spill_bytes_.fetch_add(serialized, std::memory_order_relaxed);
+        counters.spill_writes->Increment();
+        counters.spill_bytes->Add(static_cast<int64_t>(serialized));
+      }
+      // Else the spill pool is full: fall back to drop-and-rebuild.
+    }
+    bytes_cached_.fetch_sub(entry.bytes, std::memory_order_relaxed);
     num_cached_.fetch_sub(1, std::memory_order_release);
     evictions_.fetch_add(1, std::memory_order_relaxed);
-    const CacheCounters& counters = CacheCounters::Get();
     counters.evictions->Increment();
-    counters.bytes_cached->Add(-static_cast<int64_t>(it->second.bytes));
-    shard->map.erase(it);
+    counters.bytes_cached->Add(-static_cast<int64_t>(entry.bytes));
+    if (demoted) {
+      entry.pli = nullptr;
+      entry.referenced = false;
+    } else {
+      shard->map.erase(it);
+    }
   }
 }
 
@@ -104,19 +206,29 @@ std::shared_ptr<const Pli> PliCache::Insert(const ColumnSet& columns,
   Shard& shard = ShardFor(columns);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.map.find(columns);
-  if (it != shard.map.end()) return it->second.pli;
+  if (it != shard.map.end()) {
+    if (it->second.pli != nullptr) return it->second.pli;
+    // Cold entry: promote in place with the caller's PLI (identical by
+    // determinism — cheaper than reloading the disk copy, which stays
+    // valid for the next demotion).
+    Entry& entry = it->second;
+    entry.pli = std::move(pli);
+    entry.bytes = entry.pli->MemoryBytes();
+    entry.referenced = true;
+    ChargeHotEntry(&shard, columns, &entry);
+    std::shared_ptr<const Pli> result = entry.pli;
+    EvictFromShard(&shard);
+    return result;
+  }
   Entry entry;
   entry.bytes = pli->MemoryBytes();
   entry.pinned = pinned;
-  entry.pli = pli;
-  shard.map.emplace(columns, std::move(entry));
-  if (!pinned) shard.clock.push_back(columns);
-  bytes_cached_.fetch_add(pli->MemoryBytes(), std::memory_order_relaxed);
-  CacheCounters::Get().bytes_cached->Add(
-      static_cast<int64_t>(pli->MemoryBytes()));
-  num_cached_.fetch_add(1, std::memory_order_release);
+  entry.pli = std::move(pli);
+  std::shared_ptr<const Pli> result = entry.pli;
+  Entry& committed = shard.map.emplace(columns, std::move(entry)).first->second;
+  ChargeHotEntry(&shard, columns, &committed);
   if (!pinned) EvictFromShard(&shard);
-  return pli;
+  return result;
 }
 
 std::shared_ptr<const Pli> PliCache::Get(const ColumnSet& columns) {
@@ -132,7 +244,8 @@ std::shared_ptr<const Pli> PliCache::Get(const ColumnSet& columns) {
   // the last single-column PLI. This caches every prefix of the sorted
   // column list, so related look-ups (the lattice walks probe neighbors)
   // hit the cache. Prefix probes are internal — they do not count toward
-  // the hit/miss totals.
+  // the hit/miss totals (spill reloads they trigger still count as
+  // reloads).
   std::vector<int> indices = columns.ToIndices();
   MUDS_CHECK(!indices.empty());
   ColumnSet prefix;
@@ -162,7 +275,8 @@ std::shared_ptr<const Pli> PliCache::Get(const ColumnSet& columns) {
 
 std::shared_ptr<const Pli> PliCache::GetIfCached(
     const ColumnSet& columns) const {
-  std::shared_ptr<const Pli> hit = Find(columns);
+  std::shared_ptr<const Pli> hit =
+      const_cast<PliCache*>(this)->Find(columns);
   (hit != nullptr ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
   const CacheCounters& counters = CacheCounters::Get();
   (hit != nullptr ? counters.hits : counters.misses)->Increment();

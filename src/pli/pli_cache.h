@@ -9,6 +9,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/spill.h"
 #include "common/thread_pool.h"
 #include "data/relation.h"
 #include "pli/position_list_index.h"
@@ -26,27 +27,43 @@ namespace muds {
 /// Memory management: the cache holds at most `budget_bytes` of PLI payload
 /// (as reported by Pli::MemoryBytes()). Single-column PLIs and the
 /// empty-set PLI are pinned — they are the mandatory working set every
-/// traversal bottoms out on and are never evicted (their bytes still count
-/// toward the total). Derived entries are evicted per shard with a
-/// second-chance (clock) policy: a cache hit sets the entry's reference
-/// bit, and the evictor skips each referenced entry once before reclaiming
-/// it — the LRU-approximating reuse that lattice-sized DUCC/MUDS workloads
-/// need, instead of the old hard cap that silently stopped caching.
-/// Eviction never affects correctness: an evicted set is transparently
-/// rebuilt (identically — PLI construction is deterministic) on the next
-/// Get. A budget of 0 disables eviction entirely.
+/// traversal bottoms out on and are never evicted. Their bytes count toward
+/// the total and are additionally tracked separately (`Stats::pinned_bytes`,
+/// `pli_cache.pinned_bytes` gauge); when the pins alone exceed the budget
+/// the cache warns once, because eviction can then never reach the budget.
+/// Derived entries are evicted per shard with a second-chance (clock)
+/// policy: a cache hit sets the entry's reference bit, and the evictor
+/// skips each referenced entry once before reclaiming it — the
+/// LRU-approximating reuse that lattice-sized DUCC/MUDS workloads need,
+/// instead of the old hard cap that silently stopped caching. A budget of 0
+/// disables eviction entirely.
+///
+/// Tiered storage: with a SpillConfig the cache is two-tier. An evicted
+/// derived entry is serialized into a slot-based disk pool (SpillPool) and
+/// kept in the map as a *cold* entry — a handle, no PLI — instead of being
+/// dropped; the next Get reloads it with one positioned read, which is far
+/// cheaper than rebuilding the intersect chain. Reloaded bytes are charged
+/// against the budget again (a reload can re-trigger eviction elsewhere),
+/// and a re-evicted entry whose disk copy still exists demotes without
+/// rewriting (PLIs are immutable). When the spill pool's own byte budget is
+/// exhausted, eviction degrades to the in-memory behavior: drop and rebuild.
+/// Either way correctness is unaffected — PLI construction is deterministic,
+/// and the round-trip is exact (sidecar included).
 ///
 /// Thread safety: the cache is safe for concurrent Get/GetIfCached/Put/
 /// Size/NumIntersects/GetStats. Entries live in a fixed number of
 /// hash-sharded maps, each behind its own mutex, so concurrent sub-lattice
 /// traversals (which probe mostly disjoint column sets) rarely contend.
-/// Eviction runs under the inserting shard's mutex and only touches that
-/// shard, so the byte budget is enforced approximately across shards. When
-/// two threads race to build the same column set, the first inserted entry
-/// wins and both callers observe the same shared_ptr; the loser's PLI is
-/// dropped (both are equal — PLI construction is deterministic in the
-/// inputs). Pli::Intersect itself keeps per-thread scratch buffers, so
-/// concurrent intersects are safe.
+/// Eviction (and spilling) runs under the inserting shard's mutex and only
+/// touches that shard, so the byte budget is enforced approximately across
+/// shards; reloads also run under the shard mutex, serializing reloads of
+/// the same entry. When two threads race to build the same column set, the
+/// first inserted entry wins and both callers observe the same shared_ptr;
+/// the loser's PLI is dropped (both are equal — PLI construction is
+/// deterministic in the inputs). Pli::Intersect itself keeps per-thread
+/// scratch buffers, so concurrent intersects are safe. SpillPool I/O uses
+/// positioned reads/writes, so concurrent shards spill without serializing
+/// on a file cursor.
 class PliCache {
  public:
   /// Default byte budget for cached PLIs (1 GiB).
@@ -61,32 +78,37 @@ class PliCache {
   /// built concurrently (one task per column — they are independent).
   /// `impl` selects the PLI representation for the pinned base PLIs;
   /// derived (intersected) entries inherit it through sidecar propagation.
+  /// `spill` (when enabled) activates the cold tier; if the spill file
+  /// cannot be created the cache warns and runs single-tier.
   explicit PliCache(const Relation& relation,
                     size_t budget_bytes = kDefaultBudgetBytes,
-                    ThreadPool* pool = nullptr,
-                    PliImpl impl = PliImpl::kAuto);
+                    ThreadPool* pool = nullptr, PliImpl impl = PliImpl::kAuto,
+                    const SpillConfig& spill = SpillConfig());
 
   PliCache(const PliCache&) = delete;
   PliCache& operator=(const PliCache&) = delete;
 
   /// Returns the PLI for `columns`, building (and caching) it by
-  /// intersection if absent. `columns` may be empty.
+  /// intersection if absent — or reloading it from the spill tier if cold.
+  /// `columns` may be empty.
   std::shared_ptr<const Pli> Get(const ColumnSet& columns);
 
-  /// Returns the cached PLI for `columns`, or nullptr if not cached.
+  /// Returns the cached PLI for `columns`, or nullptr if not cached. A
+  /// cold (spilled) entry counts as cached and is reloaded.
   std::shared_ptr<const Pli> GetIfCached(const ColumnSet& columns) const;
 
   /// Inserts an externally built PLI (e.g. from a traversal that combined
   /// two cached entries itself). If an entry for `columns` already exists
   /// it is kept — so every caller that looks the set up again observes one
-  /// canonical shared_ptr, never two divergent copies.
+  /// canonical shared_ptr, never two divergent copies. A cold entry is
+  /// promoted in place with the caller's (identical) PLI.
   void Put(const ColumnSet& columns, std::shared_ptr<const Pli> pli);
 
   const Relation& relation() const { return *relation_; }
 
-  /// Number of cached entries (including single columns). Consistent under
-  /// concurrent insertion and eviction: counts exactly the entries
-  /// committed to shards.
+  /// Number of hot cached entries (including single columns); cold spilled
+  /// entries are not counted. Consistent under concurrent insertion and
+  /// eviction: counts exactly the entries committed to shards.
   size_t Size() const {
     return num_cached_.load(std::memory_order_acquire);
   }
@@ -101,13 +123,21 @@ class PliCache {
   /// Cache effectiveness counters; benches and MudsStats surface these.
   /// hits + misses equals the number of Get/GetIfCached probes (internal
   /// prefix look-ups during a build are not counted — a Get that has to
-  /// build counts as exactly one miss).
+  /// build counts as exactly one miss). A Get satisfied by a spill reload
+  /// counts as a hit (it avoided a rebuild) and one spill_reload.
   struct Stats {
     int64_t hits = 0;
     int64_t misses = 0;
     int64_t evictions = 0;
-    /// Bytes currently held by cached entries (pinned + derived).
+    /// Bytes currently held by hot entries (pinned + derived).
     int64_t bytes_cached = 0;
+    /// Bytes held by the pinned working set (single columns + empty set).
+    int64_t pinned_bytes = 0;
+    /// Cold-tier traffic: serialized writes to the spill pool, reloads from
+    /// it, and bytes currently resident in it.
+    int64_t spill_writes = 0;
+    int64_t spill_reloads = 0;
+    int64_t spill_bytes = 0;
   };
   Stats GetStats() const {
     Stats stats;
@@ -116,6 +146,12 @@ class PliCache {
     stats.evictions = evictions_.load(std::memory_order_relaxed);
     stats.bytes_cached =
         static_cast<int64_t>(bytes_cached_.load(std::memory_order_relaxed));
+    stats.pinned_bytes =
+        static_cast<int64_t>(pinned_bytes_.load(std::memory_order_relaxed));
+    stats.spill_writes = spill_writes_.load(std::memory_order_relaxed);
+    stats.spill_reloads = spill_reloads_.load(std::memory_order_relaxed);
+    stats.spill_bytes =
+        static_cast<int64_t>(spill_bytes_.load(std::memory_order_relaxed));
     return stats;
   }
 
@@ -124,23 +160,30 @@ class PliCache {
   /// Representation strategy the cache builds its PLIs with.
   PliImpl impl() const { return impl_; }
 
+  /// True when the cold tier is active (spill configured and file created).
+  bool spill_enabled() const { return spill_pool_ != nullptr; }
+
  private:
   static constexpr size_t kNumShards = 16;
 
   struct Entry {
+    /// Hot payload; nullptr for a cold entry (then `spilled` is valid).
     std::shared_ptr<const Pli> pli;
     size_t bytes = 0;
     bool pinned = false;
     /// Second-chance bit: set on every cache hit, cleared (once) by the
     /// clock hand before the entry becomes an eviction victim.
     bool referenced = false;
+    /// Disk copy, if one exists. Stays valid across reloads (the PLI is
+    /// immutable), so re-evicting a reloaded entry costs no write.
+    SpillHandle spilled;
   };
 
   struct Shard {
     mutable std::mutex mutex;
     std::unordered_map<ColumnSet, Entry, ColumnSetHash> map;
-    /// Clock queue over the unpinned entries, oldest-inserted first. Keys
-    /// of already-evicted entries may linger and are skipped lazily.
+    /// Clock queue over the unpinned hot entries, oldest-inserted first.
+    /// Keys of already-evicted entries may linger and are skipped lazily.
     std::deque<ColumnSet> clock;
   };
 
@@ -151,12 +194,12 @@ class PliCache {
     return shards_[columns.Hash() % kNumShards];
   }
 
-  // Looks `columns` up in its shard; sets the reference bit on a hit. Does
-  // not touch the hit/miss counters (callers decide what counts as a
-  // probe).
-  std::shared_ptr<const Pli> Find(const ColumnSet& columns) const;
+  // Looks `columns` up in its shard; sets the reference bit on a hit and
+  // reloads cold entries from the spill tier. Does not touch the hit/miss
+  // counters (callers decide what counts as a probe).
+  std::shared_ptr<const Pli> Find(const ColumnSet& columns);
 
-  // Commits `pli` for `columns` unless an entry already exists; returns
+  // Commits `pli` for `columns` unless a hot entry already exists; returns
   // the canonical entry (the existing one on a lost race, `pli` itself
   // otherwise). `pinned` entries (single columns and the empty set) are
   // exempt from eviction. Runs the shard-local evictor afterwards when the
@@ -165,21 +208,32 @@ class PliCache {
                                     std::shared_ptr<const Pli> pli,
                                     bool pinned = false);
 
-  // Evicts unpinned entries from `shard` (second chance, oldest first)
+  // Evicts unpinned hot entries from `shard` (second chance, oldest first)
   // until the global byte total drops to the budget or the shard has no
-  // unpinned entries left. Caller must hold shard.mutex.
+  // unpinned hot entries left. With the cold tier active, victims demote
+  // to spilled entries instead of being dropped. Caller must hold
+  // shard.mutex.
   void EvictFromShard(Shard* shard);
+
+  // Charges a promoted/inserted hot entry to the accounting and the clock
+  // queue. Caller must hold the shard mutex.
+  void ChargeHotEntry(Shard* shard, const ColumnSet& columns, Entry* entry);
 
   const Relation* relation_;
   std::array<Shard, kNumShards> shards_;
   size_t budget_bytes_;
   PliImpl impl_ = PliImpl::kAuto;
+  std::unique_ptr<SpillPool> spill_pool_;
   std::atomic<size_t> num_cached_{0};
   std::atomic<size_t> bytes_cached_{0};
+  std::atomic<size_t> pinned_bytes_{0};
   std::atomic<int64_t> num_intersects_{0};
   mutable std::atomic<int64_t> hits_{0};
   mutable std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> spill_writes_{0};
+  mutable std::atomic<int64_t> spill_reloads_{0};
+  mutable std::atomic<size_t> spill_bytes_{0};
 };
 
 }  // namespace muds

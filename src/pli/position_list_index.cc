@@ -1,6 +1,7 @@
 #include "pli/position_list_index.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <numeric>
 #include <utility>
@@ -490,6 +491,87 @@ void Pli::FillProbeTable(std::vector<int32_t>* probe) const {
       (*probe)[static_cast<size_t>(rows_[j])] = static_cast<int32_t>(i);
     }
   }
+}
+
+namespace {
+
+// Serialized layout: a 4-field header followed by the three arrays verbatim.
+// Counts are element counts, not bytes.
+struct SerializedPliHeader {
+  uint64_t rows_count;
+  uint64_t offsets_count;
+  uint64_t sidecar_count;  // 0 when no bitmap sidecar is attached.
+  uint64_t num_rows;
+};
+
+template <typename T>
+char* AppendArray(char* out, const std::vector<T>& values) {
+  const size_t bytes = values.size() * sizeof(T);
+  if (bytes > 0) std::memcpy(out, values.data(), bytes);
+  return out + bytes;
+}
+
+template <typename T>
+const char* ConsumeArray(const char* in, uint64_t count, std::vector<T>* out) {
+  out->resize(static_cast<size_t>(count));
+  const size_t bytes = static_cast<size_t>(count) * sizeof(T);
+  if (bytes > 0) std::memcpy(out->data(), in, bytes);
+  return in + bytes;
+}
+
+}  // namespace
+
+size_t Pli::SerializedBytes() const {
+  return sizeof(SerializedPliHeader) + rows_.size() * sizeof(RowId) +
+         offsets_.size() * sizeof(uint32_t) +
+         cluster_of_row_.size() * sizeof(uint16_t);
+}
+
+void Pli::SerializeTo(char* out) const {
+  SerializedPliHeader header;
+  header.rows_count = rows_.size();
+  header.offsets_count = offsets_.size();
+  header.sidecar_count = cluster_of_row_.size();
+  header.num_rows = static_cast<uint64_t>(num_rows_);
+  std::memcpy(out, &header, sizeof(header));
+  out += sizeof(header);
+  out = AppendArray(out, rows_);
+  out = AppendArray(out, offsets_);
+  AppendArray(out, cluster_of_row_);
+}
+
+Result<Pli> Pli::Deserialize(const char* data, size_t bytes) {
+  if (bytes < sizeof(SerializedPliHeader)) {
+    return Status::ParseError("pli: serialized buffer shorter than header");
+  }
+  SerializedPliHeader header;
+  std::memcpy(&header, data, sizeof(header));
+  const uint64_t payload = header.rows_count * sizeof(RowId) +
+                           header.offsets_count * sizeof(uint32_t) +
+                           header.sidecar_count * sizeof(uint16_t);
+  if (bytes != sizeof(header) + payload) {
+    return Status::ParseError("pli: serialized buffer size mismatch");
+  }
+  if (header.offsets_count == 0) {
+    return Status::ParseError("pli: serialized form missing offsets");
+  }
+  if (header.sidecar_count != 0 && header.sidecar_count != header.num_rows) {
+    return Status::ParseError("pli: sidecar size does not match row count");
+  }
+  std::vector<RowId> rows;
+  std::vector<uint32_t> offsets;
+  std::vector<uint16_t> sidecar;
+  const char* in = data + sizeof(header);
+  in = ConsumeArray(in, header.rows_count, &rows);
+  in = ConsumeArray(in, header.offsets_count, &offsets);
+  ConsumeArray(in, header.sidecar_count, &sidecar);
+  if (offsets.front() != 0 || offsets.back() != rows.size()) {
+    return Status::ParseError("pli: inconsistent cluster offsets");
+  }
+  Pli pli(std::move(rows), std::move(offsets),
+          static_cast<RowId>(header.num_rows));
+  pli.cluster_of_row_ = std::move(sidecar);
+  return pli;
 }
 
 }  // namespace muds

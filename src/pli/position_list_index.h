@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "data/relation.h"
 
 namespace muds {
@@ -183,6 +184,19 @@ class Pli {
   /// for rows in singleton clusters. Exposed for bulk FD checks. Reuses the
   /// buffer in place when it is already the right size.
   void FillProbeTable(std::vector<int32_t>* probe) const;
+
+  /// Exact size of the serialized form — the spill-tier wire format.
+  size_t SerializedBytes() const;
+
+  /// Writes exactly SerializedBytes() bytes to `out`. The format captures
+  /// rows, offsets, the bitmap sidecar, and the row count verbatim, so a
+  /// reloaded PLI is identical to the original: sidecar presence is stored,
+  /// not re-derived from the attach policy.
+  void SerializeTo(char* out) const;
+
+  /// Inverse of SerializeTo. Fails with ParseError on a truncated or
+  /// inconsistent buffer.
+  static Result<Pli> Deserialize(const char* data, size_t bytes);
 
  private:
   // Takes ownership of pre-sized CSR buffers (the kernel entry point).

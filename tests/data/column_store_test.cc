@@ -1,0 +1,147 @@
+// Round-trip contract of the mmap-backed column store: Write -> Open ->
+// materialize reproduces the relation exactly, per-column access touches
+// only what was asked for, and the mapped dictionary region is the same
+// length-prefixed sorted run the external SPIDER merge consumes.
+
+#include "data/column_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/mmap_file.h"
+#include "data/csv.h"
+#include "test_util.h"
+
+namespace muds {
+namespace {
+
+std::string TempPath(const char* stem) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("muds_column_store_test_") + stem))
+      .string();
+}
+
+void ExpectSameRelation(const Relation& a, const Relation& b) {
+  ASSERT_EQ(a.NumColumns(), b.NumColumns());
+  ASSERT_EQ(a.NumRows(), b.NumRows());
+  EXPECT_EQ(a.ColumnNames(), b.ColumnNames());
+  for (int c = 0; c < a.NumColumns(); ++c) {
+    const Column& ca = a.GetColumn(c);
+    const Column& cb = b.GetColumn(c);
+    EXPECT_EQ(ca.dictionary, cb.dictionary) << "column " << c;
+    EXPECT_EQ(ca.codes, cb.codes) << "column " << c;
+  }
+}
+
+TEST(ColumnStoreTest, WriteOpenRoundTrip) {
+  const Relation original = RandomRelation(17, 6, 500, 20);
+  const std::string path = TempPath("roundtrip");
+  ASSERT_TRUE(ColumnStore::Write(original, path).ok());
+
+  Result<ColumnStore> store = ColumnStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(store.value().NumColumns(), original.NumColumns());
+  EXPECT_EQ(store.value().NumRows(), original.NumRows());
+  EXPECT_EQ(store.value().name(), original.name());
+  ExpectSameRelation(original, store.value().ToRelation());
+
+  // Per-column materialization and metadata without materialization.
+  for (int c = 0; c < original.NumColumns(); ++c) {
+    const Column column = store.value().MaterializeColumn(c);
+    EXPECT_EQ(column.dictionary, original.GetColumn(c).dictionary);
+    EXPECT_EQ(column.codes, original.GetColumn(c).codes);
+    EXPECT_EQ(store.value().Cardinality(c),
+              static_cast<int64_t>(original.GetColumn(c).dictionary.size()));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ColumnStoreTest, DictionaryRunIsTheSortedLengthPrefixedFormat) {
+  const Relation original = RandomRelation(5, 3, 200, 8);
+  const std::string path = TempPath("dictrun");
+  ASSERT_TRUE(ColumnStore::Write(original, path).ok());
+  Result<ColumnStore> store = ColumnStore::Open(path);
+  ASSERT_TRUE(store.ok());
+
+  for (int c = 0; c < original.NumColumns(); ++c) {
+    const std::string_view run = store.value().DictionaryRun(c);
+    std::vector<std::string> decoded;
+    size_t pos = 0;
+    while (pos < run.size()) {
+      uint32_t len = 0;
+      ASSERT_LE(pos + sizeof(len), run.size());
+      std::memcpy(&len, run.data() + pos, sizeof(len));
+      pos += sizeof(len);
+      ASSERT_LE(pos + len, run.size());
+      decoded.emplace_back(run.substr(pos, len));
+      pos += len;
+    }
+    // Dictionaries are stored sorted (the merge-ready run order), whatever
+    // order the in-memory dictionary uses.
+    std::vector<std::string> expected = original.GetColumn(c).dictionary;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(decoded, expected) << "column " << c;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ColumnStoreTest, OpenRejectsMissingAndCorruptFiles) {
+  EXPECT_FALSE(ColumnStore::Open(TempPath("missing")).ok());
+
+  const std::string path = TempPath("corrupt");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a column store", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ColumnStore::Open(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, MapsFileContentsReadOnly) {
+  const std::string path = TempPath("mapped");
+  const std::string payload = "hello, mapped world";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs(payload.c_str(), f);
+    std::fclose(f);
+  }
+  Result<MappedFile> mapped = MappedFile::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped.value().view(), payload);
+  // Advice is best-effort; exercising it must not disturb the mapping.
+  mapped.value().Advise(MappedFile::Advice::kSequential);
+  mapped.value().Advise(MappedFile::Advice::kWillNeed);
+  EXPECT_EQ(mapped.value().view(), payload);
+  EXPECT_FALSE(MappedFile::Open(TempPath("mapped_missing")).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvMmapTest, MmapIngestMatchesBufferedIngest) {
+  const Relation original = RandomRelation(9, 4, 400, 10);
+  const std::string path = TempPath("csv");
+  ASSERT_TRUE(CsvWriter::WriteFile(original, path).ok());
+
+  CsvOptions buffered;
+  buffered.mmap_min_bytes = static_cast<size_t>(-1);  // Never map.
+  CsvOptions mapped;
+  mapped.mmap_min_bytes = 0;  // Always map.
+  Result<Relation> a = CsvReader::ReadFile(path, buffered);
+  Result<Relation> b = CsvReader::ReadFile(path, mapped);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ExpectSameRelation(a.value(), b.value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace muds

@@ -6,7 +6,9 @@
 // sequential SPIDER+DUCC+FUN baseline, and TANE — across the full
 // {threads: 1,2,8} x {pli-budget: tiny,unlimited} x {io: stream,buffered}
 // configuration matrix — plus a PLI-implementation axis
-// {csr,bitmap} x {native,forced-scalar SIMD} x {threads: 1,8} — and diffs
+// {csr,bitmap} x {native,forced-scalar SIMD} x {threads: 1,8} — and a
+// spill axis (tiny PLI budget + disk spill tier + external sort-merge
+// SPIDER) — and diffs
 // all result sets against the oracle. Every
 // engine run goes through the CSV surface (CsvWriter -> engine CSV entry
 // point), so the ingest engines are part of the contract under test.
@@ -28,6 +30,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -74,6 +77,7 @@ struct EngineConfig {
   CsvIoMode io = CsvIoMode::kBuffered;
   PliImpl impl = PliImpl::kAuto;
   bool force_scalar_simd = false;
+  bool spill = false;
 
   std::string Label() const {
     std::string out = "threads=" + std::to_string(threads);
@@ -84,6 +88,7 @@ struct EngineConfig {
       out += ToString(impl);
     }
     if (force_scalar_simd) out += " simd=scalar";
+    if (spill) out += " spill=on";
     return out;
   }
 };
@@ -109,6 +114,20 @@ std::vector<EngineConfig> ConfigMatrix() {
         config.force_scalar_simd = scalar;
         configs.push_back(config);
       }
+    }
+  }
+  // Spill axis: tiny PLI budget plus the disk tier, so evictions demote to
+  // the spill file and cache probes reload from it, and SPIDER runs its
+  // external sort-merge — single- and multi-threaded, both PLI impls. The
+  // out-of-core path must be invisible in the result sets.
+  for (PliImpl impl : {PliImpl::kAuto, PliImpl::kCsr, PliImpl::kBitmap}) {
+    for (int threads : {1, 8}) {
+      EngineConfig config;
+      config.threads = threads;
+      config.pli_budget_bytes = kTinyBudgetBytes;
+      config.impl = impl;
+      config.spill = true;
+      configs.push_back(config);
     }
   }
   return configs;
@@ -175,6 +194,9 @@ EngineAnswer RunEngine(Engine engine, const std::string& csv_text,
   options.num_threads = config.threads;
   options.pli_budget_bytes = config.pli_budget_bytes;
   options.pli_impl = config.impl;
+  if (config.spill) {
+    options.spill.dir = std::filesystem::temp_directory_path().string();
+  }
   options.csv = csv;
   Result<ProfilingResult> result = ProfileCsvString(csv_text, options);
   if (!result.ok()) {
@@ -346,7 +368,8 @@ int RunSeed(int seed, const CliOptions& cli,
       // TANE has no thread/budget/impl knobs; run it once per io mode.
       if (engine == Engine::kTane &&
           (config.threads != 1 || config.pli_budget_bytes != 0 ||
-           config.impl != PliImpl::kAuto || config.force_scalar_simd)) {
+           config.impl != PliImpl::kAuto || config.force_scalar_simd ||
+           config.spill)) {
         continue;
       }
       const EngineAnswer answer = RunEngine(

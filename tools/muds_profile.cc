@@ -29,6 +29,17 @@
 //                                         sidecar whenever representable);
 //                                         results are identical for every
 //                                         impl
+//   --spill-dir=DIR                       enable the out-of-core tier:
+//                                         evicted PLIs spill to an unlinked
+//                                         temp file in DIR instead of being
+//                                         dropped, and SPIDER streams its
+//                                         sorted runs from disk; results
+//                                         are identical with spill on or
+//                                         off
+//   --spill-budget-mb=N                   cap each spill file at N MiB
+//                                         (0 = unbounded, default 0); when
+//                                         a file is full the engine falls
+//                                         back to drop-and-rebuild
 //   --json                                machine-readable JSON output
 //   --output=FILE                         write the report to FILE instead
 //                                         of stdout
@@ -81,6 +92,7 @@ void PrintUsage(FILE* out) {
       "                    [--null-token=S] [--null-unequal] [--seed=N]\n"
       "                    [--io=buffered|stream] [--threads=N]\n"
       "                    [--pli-budget-mb=N] [--pli-impl=auto|csr|bitmap]\n"
+      "                    [--spill-dir=DIR] [--spill-budget-mb=N]\n"
       "                    [--json]\n"
       "                    [--output=FILE] [--quiet] [--metrics]\n"
       "                    [--trace=FILE] [--stats] [--soft-fds[=T]]\n");
@@ -157,6 +169,22 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       }
       options->profile.pli_budget_bytes =
           static_cast<size_t>(mb) << 20;  // 0 = unlimited.
+    } else if (arg.rfind("--spill-dir=", 0) == 0) {
+      options->profile.spill.dir = arg.substr(12);
+      if (options->profile.spill.dir.empty()) {
+        std::fprintf(stderr, "--spill-dir expects a directory path\n");
+        return false;
+      }
+    } else if (arg.rfind("--spill-budget-mb=", 0) == 0) {
+      char* end = nullptr;
+      const long mb = std::strtol(arg.c_str() + 18, &end, 10);
+      if (end == arg.c_str() + 18 || *end != '\0' || mb < 0) {
+        std::fprintf(stderr,
+                     "--spill-budget-mb expects a non-negative MiB count\n");
+        return false;
+      }
+      options->profile.spill.budget_bytes =
+          static_cast<size_t>(mb) << 20;  // 0 = unbounded.
     } else if (arg.rfind("--pli-impl=", 0) == 0) {
       const std::string name = arg.substr(11);
       if (!ParsePliImpl(name, &options->profile.pli_impl)) {
