@@ -37,6 +37,10 @@ class MappedFile {
   MappedFile& operator=(const MappedFile&) = delete;
 
   std::string_view view() const {
+    // An unmapped file (size 0, or a platform without mmap) must not build
+    // a string_view over a null pointer — that is UB the callers' parsers
+    // would then iterate over.
+    if (data_ == nullptr) return std::string_view();
     return std::string_view(static_cast<const char*>(data_), size_);
   }
   size_t size() const { return size_; }

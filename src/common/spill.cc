@@ -172,19 +172,33 @@ Status SpillPool::ReadAt(const SpillHandle& handle, uint64_t offset, void* out,
 }
 
 void SpillPool::Free(const SpillHandle& handle) {
-  if (!handle.valid()) return;
+  if (!handle.valid() || handle.bytes == 0) return;
   const uint64_t slots = SlotsFor(handle.bytes);
+  const uint64_t begin = handle.offset;
+  const uint64_t end = begin + slots * kSlotBytes;
   std::lock_guard<std::mutex> lock(mutex_);
+  // A stale or duplicated handle must not move the budget counters: once an
+  // extent is back on the free list (possibly merged into a neighbor by
+  // coalescing, so its offset is no longer a map key), freeing it again
+  // would release the same slots twice and hand them to two owners. Reject
+  // any extent that is unaligned, outside the file, or overlaps the free
+  // list before touching slots_in_use_ / bytes_in_use_.
+  if (begin % kSlotBytes != 0 || end > file_slots_ * kSlotBytes) return;
+  auto next = free_extents_.lower_bound(begin);
+  if (next != free_extents_.end() && next->first < end) return;
+  if (next != free_extents_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second * kSlotBytes > begin) return;
+  }
   slots_in_use_ -= slots;
   bytes_in_use_ -= handle.bytes;
-  auto [it, inserted] = free_extents_.emplace(handle.offset, slots);
-  if (!inserted) return;  // Double free; keep the original extent.
+  auto it = free_extents_.emplace_hint(next, begin, slots);
   // Coalesce with the following extent, then with the preceding one.
-  auto next = std::next(it);
-  if (next != free_extents_.end() &&
-      it->first + it->second * kSlotBytes == next->first) {
-    it->second += next->second;
-    free_extents_.erase(next);
+  auto after = std::next(it);
+  if (after != free_extents_.end() &&
+      it->first + it->second * kSlotBytes == after->first) {
+    it->second += after->second;
+    free_extents_.erase(after);
   }
   if (it != free_extents_.begin()) {
     auto prev = std::prev(it);

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <utility>
 
 namespace muds {
@@ -112,20 +113,38 @@ Result<ColumnStore> ColumnStore::Open(const std::string& path) {
   if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::ParseError(path + ": not a column store (bad magic)");
   }
+  // All bounds checks below are written in subtraction form against the
+  // actual file size: a corrupt or truncated store can carry offsets and
+  // counts whose sums wrap uint64, and a wrapped sum would pass a
+  // `a + b > size` check and send the readers past EOF.
   const uint64_t n = header.num_columns;
-  const uint64_t table_end =
-      sizeof(StoreHeader) + n * sizeof(ColumnExtent) + header.names_bytes;
-  if (view.size() < table_end) {
+  const uint64_t avail = view.size() - sizeof(StoreHeader);
+  if (n > avail / sizeof(ColumnExtent)) {
     return Status::ParseError(path + ": truncated column store header");
+  }
+  const uint64_t table_bytes = n * sizeof(ColumnExtent);
+  if (header.names_bytes > avail - table_bytes) {
+    return Status::ParseError(path + ": truncated column store header");
+  }
+  if (header.num_rows >
+      static_cast<uint64_t>(std::numeric_limits<RowId>::max())) {
+    return Status::ParseError(path + ": row count out of range");
   }
   std::vector<ColumnExtent> extents(static_cast<size_t>(n));
   std::memcpy(extents.data(), view.data() + sizeof(StoreHeader),
               static_cast<size_t>(n) * sizeof(ColumnExtent));
+  const uint64_t codes_bytes = header.num_rows * sizeof(int32_t);
   for (const ColumnExtent& extent : extents) {
-    const uint64_t codes_end =
-        extent.codes_offset + header.num_rows * sizeof(int32_t);
-    if (extent.dict_offset + extent.dict_bytes > view.size() ||
-        codes_end > view.size()) {
+    if (extent.dict_offset > view.size() ||
+        extent.dict_bytes > view.size() - extent.dict_offset ||
+        extent.codes_offset > view.size() ||
+        codes_bytes > view.size() - extent.codes_offset) {
+      return Status::ParseError(path + ": column extent out of bounds");
+    }
+    // Every dictionary entry spends at least its 4-byte length prefix, so
+    // a count larger than dict_bytes / 4 cannot be satisfied; rejecting it
+    // here keeps MaterializeColumn from resizing to a bogus huge count.
+    if (extent.dict_count > extent.dict_bytes / sizeof(uint32_t)) {
       return Status::ParseError(path + ": column extent out of bounds");
     }
   }

@@ -235,11 +235,16 @@ Result<Relation> CsvReader::ReadFile(const std::string& path,
     // owns copies of everything it keeps, so the mapping is dropped as soon
     // as the parse returns.
     Result<MappedFile> mapped = MappedFile::Open(path);
-    if (mapped.ok()) {
+    if (mapped.ok() && mapped.value().mapped()) {
       mapped.value().Advise(MappedFile::Advice::kSequential);
       return ReadString(mapped.value().view(), options, path);
     }
-    // Fall through to the buffered read on any mapping failure.
+    // Fall through to the buffered read on any mapping failure — including
+    // a file that shrank to zero between the size probe above and the
+    // mmap, where Open yields an unmapped (empty) file rather than an
+    // error. The buffered read below re-checks the byte count against the
+    // probed size and reports a clear I/O error instead of parsing a
+    // truncated view.
   }
   in.seekg(0, std::ios::beg);
   std::string buffer(static_cast<size_t>(size), '\0');

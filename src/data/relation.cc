@@ -1,14 +1,30 @@
 #include "data/relation.h"
 
 #include <algorithm>
+#include <functional>
+#include <limits>
 #include <numeric>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 
+#include "common/thread_pool.h"
+
 namespace muds {
 
 namespace {
+
+// Runs `fn(c)` for every column index, on the pool when it has real
+// workers and inline otherwise (the single-thread path stays deterministic
+// and allocation-free).
+void ParallelOverColumns(ThreadPool* pool, int64_t n,
+                         const std::function<void(int64_t)>& fn) {
+  if (pool != nullptr && pool->NumThreads() > 1) {
+    pool->ParallelFor(0, n, fn);
+  } else {
+    for (int64_t c = 0; c < n; ++c) fn(c);
+  }
+}
 
 // Sorts the distinct values of `raw` into a dictionary and rewrites the
 // column as codes into it. Each value is hashed exactly once: the map
@@ -71,6 +87,85 @@ Relation::Relation(std::string name, std::vector<std::string> column_names,
   for (const Column& column : columns_) {
     MUDS_CHECK(static_cast<RowId>(column.codes.size()) == num_rows_);
   }
+}
+
+AppendDelta Relation::AppendBatch(const Relation& batch, ThreadPool* pool) {
+  MUDS_CHECK_MSG(batch.NumColumns() == NumColumns(),
+                 "append batch arity does not match the schema");
+  const RowId old_rows = num_rows_;
+  const RowId batch_rows = batch.NumRows();
+  MUDS_CHECK_MSG(static_cast<int64_t>(old_rows) + batch_rows <=
+                     std::numeric_limits<RowId>::max(),
+                 "append would overflow the row id space");
+
+  AppendDelta delta;
+  delta.old_num_rows = old_rows;
+  delta.new_num_rows = old_rows + batch_rows;
+  delta.columns.resize(columns_.size());
+
+  const auto merge_column = [&](int64_t ci) {
+    const size_t c = static_cast<size_t>(ci);
+    Column& column = columns_[c];
+    const Column& added = batch.columns_[c];
+    ColumnAppendDelta& col_delta = delta.columns[c];
+
+    // Merge the two sorted dictionaries, recording where each side's codes
+    // land. Equal values collapse; batch-only values shift every later old
+    // code up by the number of insertions before it.
+    const size_t old_card = column.dictionary.size();
+    const size_t added_card = added.dictionary.size();
+    std::vector<std::string> merged;
+    merged.reserve(old_card + added_card);
+    std::vector<int32_t> remap_old(old_card);
+    std::vector<int32_t> remap_added(added_card);
+    size_t i = 0;
+    size_t j = 0;
+    while (i < old_card || j < added_card) {
+      const int32_t code = static_cast<int32_t>(merged.size());
+      const bool take_old =
+          j == added_card ||
+          (i < old_card && column.dictionary[i] <= added.dictionary[j]);
+      if (take_old) {
+        if (j < added_card && column.dictionary[i] == added.dictionary[j]) {
+          remap_added[j] = code;
+          ++j;
+        }
+        remap_old[i] = code;
+        merged.push_back(std::move(column.dictionary[i]));
+        ++i;
+      } else {
+        remap_added[j] = code;
+        merged.push_back(added.dictionary[j]);
+        ++j;
+        col_delta.new_values = true;
+      }
+    }
+    const size_t card = merged.size();
+    column.dictionary = std::move(merged);
+
+    // One pass over the old codes: remap them (only needed when the merge
+    // inserted new values, i.e. grew the dictionary) and collect the old
+    // occurrence counts the PLI merge and the break screens need.
+    col_delta.old_count.assign(card, 0);
+    col_delta.old_row_of_code.assign(card, ColumnAppendDelta::kNoRow);
+    const bool rewrite = card != old_card;
+    for (RowId row = 0; row < old_rows; ++row) {
+      int32_t& code = column.codes[static_cast<size_t>(row)];
+      if (rewrite) code = remap_old[static_cast<size_t>(code)];
+      if (++col_delta.old_count[static_cast<size_t>(code)] == 1) {
+        col_delta.old_row_of_code[static_cast<size_t>(code)] = row;
+      }
+    }
+
+    column.codes.reserve(static_cast<size_t>(old_rows) + added.codes.size());
+    for (const int32_t code : added.codes) {
+      column.codes.push_back(remap_added[static_cast<size_t>(code)]);
+    }
+  };
+  ParallelOverColumns(pool, static_cast<int64_t>(columns_.size()),
+                      merge_column);
+  num_rows_ = delta.new_num_rows;
+  return delta;
 }
 
 ColumnSet Relation::ActiveColumns() const {

@@ -12,6 +12,8 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -103,6 +105,91 @@ TEST(ColumnStoreTest, OpenRejectsMissingAndCorruptFiles) {
     std::fclose(f);
   }
   EXPECT_FALSE(ColumnStore::Open(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ColumnStoreTest, OpenRejectsTruncatedStores) {
+  // Chop a valid store at every structurally interesting boundary: inside
+  // the header, inside the extent table, inside the names region, and
+  // inside the column payloads. Open must fail cleanly each time — never
+  // read past EOF, never crash.
+  const Relation original = RandomRelation(7, 4, 120, 6);
+  const std::string path = TempPath("full");
+  ASSERT_TRUE(ColumnStore::Write(original, path).ok());
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  const std::string truncated_path = TempPath("truncated");
+  for (size_t keep :
+       {size_t{4}, size_t{12}, size_t{40}, size_t{100}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    ASSERT_LT(keep, bytes.size());
+    {
+      std::ofstream out(truncated_path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    }
+    Result<ColumnStore> store = ColumnStore::Open(truncated_path);
+    EXPECT_FALSE(store.ok()) << "keep=" << keep;
+  }
+  std::remove(path.c_str());
+  std::remove(truncated_path.c_str());
+}
+
+TEST(ColumnStoreTest, OpenRejectsOverflowingHeaderFields) {
+  // A corrupt store can carry counts whose byte sums wrap uint64; each
+  // patched field must be caught by the subtraction-form bounds checks.
+  const Relation original = RandomRelation(8, 2, 50, 4);
+  const std::string path = TempPath("patched");
+  ASSERT_TRUE(ColumnStore::Write(original, path).ok());
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  // Header layout: magic[8], num_columns u32, reserved u32, num_rows u64,
+  // names_bytes u64; the extent table follows (4 u64 per column).
+  const auto patch = [&](size_t offset, uint64_t value, size_t width) {
+    std::string copy = bytes;
+    std::memcpy(&copy[offset], &value, width);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(copy.data(), static_cast<std::streamsize>(copy.size()));
+  };
+
+  patch(8, uint64_t{0xFFFFFFFF}, 4);  // num_columns: wraps table_bytes.
+  EXPECT_FALSE(ColumnStore::Open(path).ok()) << "huge num_columns";
+  patch(16, ~uint64_t{0}, 8);  // num_rows: wraps codes_bytes.
+  EXPECT_FALSE(ColumnStore::Open(path).ok()) << "huge num_rows";
+  patch(24, ~uint64_t{0}, 8);  // names_bytes: wraps header + names.
+  EXPECT_FALSE(ColumnStore::Open(path).ok()) << "huge names_bytes";
+  // First extent's dict_offset: offset + bytes wraps past the view.
+  patch(32, ~uint64_t{0} - 8, 8);
+  EXPECT_FALSE(ColumnStore::Open(path).ok()) << "wrapping dict_offset";
+  // First extent's dict_bytes: offset + bytes wraps past the view.
+  patch(32 + 8, ~uint64_t{0}, 8);
+  EXPECT_FALSE(ColumnStore::Open(path).ok()) << "wrapping dict_bytes";
+  // First extent's dict_count: more entries than dict_bytes can encode.
+  patch(32 + 16, ~uint64_t{0}, 8);
+  EXPECT_FALSE(ColumnStore::Open(path).ok()) << "huge dict_count";
+  std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, EmptyFileYieldsUnmappedEmptyView) {
+  // mmap(len=0) is invalid, so a size-0 file opens as "not mapped"; view()
+  // must hand back an empty view instead of wrapping a null pointer.
+  const std::string path = TempPath("empty");
+  { std::ofstream touch(path, std::ios::binary | std::ios::trunc); }
+  Result<MappedFile> mapped = MappedFile::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_FALSE(mapped.value().mapped());
+  EXPECT_EQ(mapped.value().size(), 0u);
+  EXPECT_TRUE(mapped.value().view().empty());
+  // Advice on an unmapped file must be a harmless no-op.
+  mapped.value().Advise(MappedFile::Advice::kSequential);
   std::remove(path.c_str());
 }
 

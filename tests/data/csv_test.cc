@@ -1,7 +1,9 @@
 #include "data/csv.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -203,6 +205,39 @@ TEST(CsvFileTest, MissingFileIsIoError) {
   auto result = CsvReader::ReadFile("/nonexistent/muds/file.csv");
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvFileTest, EmptyFileIsParseErrorOnEveryPath) {
+  // Regression: a size-0 file forced down the mmap path produced an empty
+  // (nullptr) mapping whose view was dereferenced. Both engines must report
+  // the same clean parse error instead.
+  const std::string path = ::testing::TempDir() + "/muds_csv_empty.csv";
+  { std::ofstream touch(path); }
+  for (size_t mmap_min_bytes : {size_t{0}, SIZE_MAX}) {
+    CsvOptions options;
+    options.mmap_min_bytes = mmap_min_bytes;
+    auto result = CsvReader::ReadFile(path, options);
+    ASSERT_FALSE(result.ok()) << "mmap_min_bytes=" << mmap_min_bytes;
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError)
+        << result.status().ToString();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, SmallFileThroughMmapPathParses) {
+  // mmap_min_bytes=0 forces even a tiny file through the mapped engine; the
+  // parse must match the buffered read exactly.
+  const std::string path = ::testing::TempDir() + "/muds_csv_mmap.csv";
+  Relation original =
+      Relation::FromRows({"A", "B"}, {{"1", "x"}, {"2", "y"}});
+  ASSERT_TRUE(CsvWriter::WriteFile(original, path).ok());
+  CsvOptions options;
+  options.mmap_min_bytes = 0;
+  auto result = CsvReader::ReadFile(path, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().NumRows(), 2);
+  EXPECT_EQ(result.value().Row(1), original.Row(1));
+  std::remove(path.c_str());
 }
 
 }  // namespace

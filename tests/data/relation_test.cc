@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+
 namespace muds {
 namespace {
 
@@ -92,6 +98,86 @@ TEST(RelationTest, EmptyStringIsAnOrdinaryValue) {
   Relation r = Relation::FromRows({"A"}, {{""}, {"x"}, {""}});
   EXPECT_EQ(r.Cardinality(0), 2);
   EXPECT_EQ(r.Value(0, 0), "");
+}
+
+void ExpectSameInstance(const Relation& a, const Relation& b) {
+  ASSERT_EQ(a.NumColumns(), b.NumColumns());
+  ASSERT_EQ(a.NumRows(), b.NumRows());
+  for (int c = 0; c < a.NumColumns(); ++c) {
+    EXPECT_EQ(a.GetColumn(c).dictionary, b.GetColumn(c).dictionary)
+        << "column " << c;
+    EXPECT_EQ(a.GetColumn(c).codes, b.GetColumn(c).codes) << "column " << c;
+  }
+}
+
+TEST(RelationAppendTest, AppendBatchEqualsFromRowsOfConcatenation) {
+  const std::vector<std::vector<std::string>> base_rows = {
+      {"x", "1", "k"}, {"y", "1", "k"}, {"x", "2", "k"}};
+  // The batch reuses values, interleaves new ones at both dictionary ends,
+  // and changes the constant column.
+  const std::vector<std::vector<std::string>> batch_rows = {
+      {"a", "2", "k"}, {"z", "0", "m"}, {"y", "3", "k"}};
+  Relation relation = Relation::FromRows({"A", "B", "C"}, base_rows);
+  const Relation batch = Relation::FromRows({"A", "B", "C"}, batch_rows);
+
+  const AppendDelta delta = relation.AppendBatch(batch);
+  EXPECT_EQ(delta.old_num_rows, 3);
+  EXPECT_EQ(delta.new_num_rows, 6);
+
+  std::vector<std::vector<std::string>> all = base_rows;
+  all.insert(all.end(), batch_rows.begin(), batch_rows.end());
+  ExpectSameInstance(relation, Relation::FromRows({"A", "B", "C"}, all));
+}
+
+TEST(RelationAppendTest, AppendDeltaReportsOldCountsAndSingletons) {
+  Relation relation =
+      Relation::FromRows({"A"}, {{"x"}, {"y"}, {"x"}});
+  const Relation batch = Relation::FromRows({"A"}, {{"a"}, {"y"}});
+  const AppendDelta delta = relation.AppendBatch(batch);
+
+  ASSERT_EQ(delta.columns.size(), 1u);
+  const ColumnAppendDelta& col = delta.columns[0];
+  EXPECT_TRUE(col.new_values);  // "a" is new.
+  // Post-merge dictionary is {a, x, y}: a had 0 old rows, x had 2, y had 1
+  // (row 1 — the singleton the PLI merge needs to locate without a rescan).
+  ASSERT_EQ(col.old_count, (std::vector<RowId>{0, 2, 1}));
+  EXPECT_EQ(col.old_row_of_code[0], ColumnAppendDelta::kNoRow);
+  EXPECT_EQ(col.old_row_of_code[2], 1);
+}
+
+TEST(RelationAppendTest, AppendWithNoNewValuesKeepsCodesStable) {
+  Relation relation = Relation::FromRows({"A"}, {{"p"}, {"q"}});
+  const std::vector<int32_t> codes_before = relation.GetColumn(0).codes;
+  const Relation batch = Relation::FromRows({"A"}, {{"q"}, {"p"}});
+  const AppendDelta delta = relation.AppendBatch(batch);
+  EXPECT_FALSE(delta.columns[0].new_values);
+  // Old prefix codes are untouched when the dictionary did not grow.
+  for (size_t i = 0; i < codes_before.size(); ++i) {
+    EXPECT_EQ(relation.GetColumn(0).codes[i], codes_before[i]);
+  }
+  EXPECT_EQ(relation.Value(2, 0), "q");
+  EXPECT_EQ(relation.Value(3, 0), "p");
+}
+
+TEST(RelationAppendTest, ParallelAppendMatchesSequential) {
+  const std::vector<std::string> names = {"A", "B", "C", "D"};
+  std::vector<std::vector<std::string>> base_rows, batch_rows;
+  for (int i = 0; i < 200; ++i) {
+    base_rows.push_back({std::to_string(i % 7), std::to_string(i % 3),
+                         std::to_string(i), "c"});
+  }
+  for (int i = 0; i < 90; ++i) {
+    batch_rows.push_back({std::to_string(i % 11), std::to_string(i % 5),
+                          std::to_string(1000 + i), i % 2 ? "c" : "d"});
+  }
+  Relation sequential = Relation::FromRows(names, base_rows);
+  Relation parallel = Relation::FromRows(names, base_rows);
+  const Relation batch = Relation::FromRows(names, batch_rows);
+
+  sequential.AppendBatch(batch);
+  ThreadPool pool(4);
+  parallel.AppendBatch(batch, &pool);
+  ExpectSameInstance(sequential, parallel);
 }
 
 }  // namespace

@@ -118,6 +118,108 @@ TEST(SpillPoolTest, BudgetBoundsTheFile) {
   EXPECT_EQ(0, std::memcmp(out.data(), slot.data(), slot.size()));
 }
 
+TEST(SpillPoolTest, FreeRejectsDoubleAndOverlappingFrees) {
+  // Regression: Free used to trust its handle, so a duplicated or stale
+  // handle double-released slots — the coalescer merged the extent into a
+  // neighbor and the budget counters went negative. Bad frees must now be
+  // no-ops that leave BytesInUse and live payloads untouched.
+  auto pool = MakePool();
+  const std::vector<char> slot = Payload(SpillPool::kSlotBytes, 7);
+  std::vector<SpillHandle> handles;
+  for (int i = 0; i < 3; ++i) {
+    Result<SpillHandle> h = pool->Write(slot.data(), slot.size());
+    ASSERT_TRUE(h.ok());
+    handles.push_back(h.value());
+  }
+  ASSERT_EQ(pool->BytesInUse(), 3 * SpillPool::kSlotBytes);
+
+  pool->Free(handles[1]);
+  const size_t after_one_free = pool->BytesInUse();
+  EXPECT_EQ(after_one_free, 2 * SpillPool::kSlotBytes);
+
+  // Double free of the same handle.
+  pool->Free(handles[1]);
+  EXPECT_EQ(pool->BytesInUse(), after_one_free);
+
+  // A handle overlapping the free extent from one side (starts at the live
+  // extent 0 but spans into freed slot 1).
+  SpillHandle overlapping = handles[0];
+  overlapping.bytes = 2 * SpillPool::kSlotBytes;
+  pool->Free(overlapping);
+  EXPECT_EQ(pool->BytesInUse(), after_one_free);
+
+  // Unaligned and out-of-file offsets.
+  SpillHandle unaligned = handles[2];
+  unaligned.offset += 1;
+  pool->Free(unaligned);
+  SpillHandle beyond = handles[2];
+  beyond.offset = pool->FileBytes();
+  pool->Free(beyond);
+  EXPECT_EQ(pool->BytesInUse(), after_one_free);
+
+  // The surviving payloads were never handed out to a new owner.
+  std::vector<char> out(slot.size());
+  ASSERT_TRUE(pool->Read(handles[0], out.data()).ok());
+  EXPECT_EQ(0, std::memcmp(out.data(), slot.data(), slot.size()));
+  ASSERT_TRUE(pool->Read(handles[2], out.data()).ok());
+  EXPECT_EQ(0, std::memcmp(out.data(), slot.data(), slot.size()));
+
+  // Legitimate frees still drain the pool to zero.
+  pool->Free(handles[0]);
+  pool->Free(handles[2]);
+  EXPECT_EQ(pool->BytesInUse(), 0u);
+}
+
+TEST(SpillPoolTest, FreeAfterCoalescingRejectsStaleHandles) {
+  // Free b and c so they coalesce into one extent; the stale handles' slots
+  // are then inside a merged extent whose offset is no longer a map key —
+  // exactly the shape that used to slip past a key-only lookup.
+  auto pool = MakePool();
+  const std::vector<char> slot = Payload(SpillPool::kSlotBytes, 9);
+  std::vector<SpillHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    Result<SpillHandle> h = pool->Write(slot.data(), slot.size());
+    ASSERT_TRUE(h.ok());
+    handles.push_back(h.value());
+  }
+  pool->Free(handles[1]);
+  pool->Free(handles[2]);
+  const size_t in_use = pool->BytesInUse();
+  pool->Free(handles[1]);  // Start of the merged extent.
+  pool->Free(handles[2]);  // Interior of the merged extent.
+  EXPECT_EQ(pool->BytesInUse(), in_use);
+
+  // The merged extent is handed out exactly once.
+  const std::vector<char> two_slots = Payload(2 * SpillPool::kSlotBytes, 10);
+  Result<SpillHandle> reused = pool->Write(two_slots.data(), two_slots.size());
+  ASSERT_TRUE(reused.ok());
+  EXPECT_EQ(reused.value().offset, handles[1].offset);
+  std::vector<char> out(slot.size());
+  ASSERT_TRUE(pool->Read(handles[3], out.data()).ok());
+  EXPECT_EQ(0, std::memcmp(out.data(), slot.data(), slot.size()));
+}
+
+TEST(SpillPoolTest, BudgetAccountingSurvivesFailedWrites) {
+  auto pool = MakePool(2 * SpillPool::kSlotBytes);
+  const std::vector<char> slot = Payload(SpillPool::kSlotBytes, 11);
+  Result<SpillHandle> a = pool->Write(slot.data(), slot.size());
+  Result<SpillHandle> b = pool->Write(slot.data(), slot.size());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // A rejected write must not leak accounting.
+  EXPECT_FALSE(pool->Write(slot.data(), slot.size()).ok());
+  EXPECT_EQ(pool->BytesInUse(), 2 * SpillPool::kSlotBytes);
+
+  // Draining the pool recovers the full budget.
+  pool->Free(a.value());
+  pool->Free(b.value());
+  EXPECT_EQ(pool->BytesInUse(), 0u);
+  Result<SpillHandle> c = pool->Write(slot.data(), slot.size());
+  Result<SpillHandle> d = pool->Write(slot.data(), slot.size());
+  EXPECT_TRUE(c.ok());
+  EXPECT_TRUE(d.ok());
+}
+
 TEST(SpillPoolTest, InvalidDirFailsCreate) {
   SpillConfig config;
   config.dir = "/nonexistent/muds/spill/dir";

@@ -18,9 +18,15 @@
 // seed, the generator parameters, the failing engine + configuration, the
 // result diff, and the minimized CSV dump.
 //
+// An append axis exercises the incremental profiler: each seed's relation
+// is split into a base slice plus --append-batches row batches, every slice
+// goes through the CSV surface, and after every IncrementalProfiler::Append
+// the maintained sets must equal the oracle's from-scratch profile of the
+// row prefix — across {threads: 1,8} x {budget: unlimited, tiny+spill}.
+//
 // Usage:
 //   muds_diff [--seeds=N] [--start-seed=N] [--max-cols=N] [--max-rows=N]
-//             [--verbose] [--self-test]
+//             [--append-batches=N] [--append-only] [--verbose] [--self-test]
 //
 // Exit status: 0 when every run matches the oracle (or, under --self-test,
 // when every injected corruption is caught), 1 on usage errors or missed
@@ -35,6 +41,7 @@
 #include <vector>
 
 #include "common/simd.h"
+#include "core/incremental.h"
 #include "core/profiler.h"
 #include "data/csv.h"
 #include "data/metadata.h"
@@ -53,6 +60,8 @@ struct CliOptions {
   int start_seed = 1;
   int max_cols = 10;
   int64_t max_rows = 2000;
+  int append_batches = 3;  // 0 disables the append axis.
+  bool append_only = false;
   bool verbose = false;
   bool self_test = false;
 };
@@ -386,6 +395,138 @@ int RunSeed(int seed, const CliOptions& cli,
   return mismatches;
 }
 
+// The append-axis configurations: the thread and memory-pressure extremes.
+// Incremental maintenance must be invisible in the result sets for every
+// thread count and under eviction + spill of the PLIs it patches.
+std::vector<EngineConfig> AppendConfigMatrix() {
+  std::vector<EngineConfig> configs;
+  for (int threads : {1, 8}) {
+    EngineConfig unlimited;
+    unlimited.threads = threads;
+    configs.push_back(unlimited);
+    EngineConfig tiny_spill;
+    tiny_spill.threads = threads;
+    tiny_spill.pli_budget_bytes = kTinyBudgetBytes;
+    tiny_spill.spill = true;
+    configs.push_back(tiny_spill);
+  }
+  return configs;
+}
+
+// Runs the append axis for one seed: split the generated relation into a
+// base slice plus `cli.append_batches` row batches, feed every slice
+// through the CSV surface into an IncrementalProfiler, and after each
+// Append diff the maintained sets against the oracle's from-scratch profile
+// of the row prefix. Returns the number of mismatching (config, batch)
+// runs; `total_runs` counts every comparison performed.
+int RunAppendSeed(int seed, const CliOptions& cli,
+                  const std::vector<EngineConfig>& configs, int* total_runs) {
+  const AdversarialParams params =
+      SampleAdversarialParams(static_cast<uint64_t>(seed), cli.max_cols,
+                              cli.max_rows);
+  const Relation relation = MakeAdversarial(params);
+  const int batches = cli.append_batches;
+  if (relation.NumRows() < static_cast<RowId>(batches + 1)) return 0;
+
+  // Base keeps ~40% of the rows; the rest splits into equal batches (the
+  // last one takes the remainder). Every slice and every prefix keeps the
+  // original row order, so the prefix oracle is well-defined.
+  const RowId num_rows = relation.NumRows();
+  const RowId base_rows =
+      std::max<RowId>(1, static_cast<RowId>((num_rows * 2) / 5));
+  const RowId per_batch =
+      std::max<RowId>(1, (num_rows - base_rows) / static_cast<RowId>(batches));
+  std::vector<RowId> cuts;  // Prefix length after the base and each batch.
+  cuts.push_back(base_rows);
+  for (int b = 1; b < batches; ++b) {
+    cuts.push_back(std::min<RowId>(num_rows, base_rows + per_batch * b));
+  }
+  cuts.push_back(num_rows);
+
+  const auto slice_rows = [&](RowId begin, RowId end) {
+    std::vector<RowId> rows;
+    rows.reserve(static_cast<size_t>(end - begin));
+    for (RowId r = begin; r < end; ++r) rows.push_back(r);
+    return relation.SelectRows(rows);
+  };
+
+  // Prefix oracles are shared by every configuration.
+  std::vector<ReferenceResult> oracles;
+  oracles.reserve(cuts.size() - 1);
+  for (size_t i = 1; i < cuts.size(); ++i) {
+    oracles.push_back(ReferenceProfiler::Profile(slice_rows(0, cuts[i])));
+  }
+  if (cli.verbose) {
+    std::fprintf(stderr, "seed %d append: %s -> base %d rows + %zu batches\n",
+                 seed, params.ToString().c_str(),
+                 static_cast<int>(base_rows), cuts.size() - 1);
+  }
+
+  int mismatches = 0;
+  for (const EngineConfig& config : configs) {
+    CsvOptions csv;
+    csv.num_threads = config.threads;
+    ProfileOptions options;
+    options.seed = static_cast<uint64_t>(seed) + 17;
+    options.num_threads = config.threads;
+    options.pli_budget_bytes = config.pli_budget_bytes;
+    options.pli_impl = config.impl;
+    if (config.spill) {
+      options.spill.dir = std::filesystem::temp_directory_path().string();
+    }
+    options.csv = csv;
+
+    const std::string base_csv =
+        CsvWriter::ToString(slice_rows(0, cuts[0]));
+    Result<Relation> base = CsvReader::ReadString(base_csv, csv);
+    if (!base.ok()) {
+      std::fprintf(stderr, "APPEND MISMATCH seed=%d %s: base parse: %s\n",
+                   seed, config.Label().c_str(),
+                   base.status().ToString().c_str());
+      ++mismatches;
+      continue;
+    }
+    IncrementalProfiler profiler(base.value(), options);
+
+    for (size_t batch = 1; batch < cuts.size(); ++batch) {
+      ++*total_runs;
+      const std::string batch_csv =
+          CsvWriter::ToString(slice_rows(cuts[batch - 1], cuts[batch]));
+      Result<Relation> parsed = CsvReader::ReadString(batch_csv, csv);
+      std::string diff;
+      if (!parsed.ok()) {
+        diff = "  batch parse failed: " + parsed.status().ToString() + "\n";
+      } else {
+        const Status appended = profiler.Append(parsed.value());
+        if (!appended.ok()) {
+          diff = "  Append failed: " + appended.ToString() + "\n";
+        } else {
+          EngineAnswer answer;
+          answer.ok = true;
+          answer.inds = profiler.inds();
+          answer.uccs = profiler.uccs();
+          answer.fds = profiler.fds();
+          diff = DiffAgainstOracle(answer, oracles[batch - 1],
+                                   relation.ColumnNames());
+        }
+      }
+      if (diff.empty()) continue;
+      ++mismatches;
+      std::fprintf(stderr,
+                   "APPEND MISMATCH seed=%d %s batch=%zu/%zu (prefix %d "
+                   "rows)\n  generator: %s\n  reproduce: muds_diff "
+                   "--start-seed=%d --seeds=1 --max-cols=%d --max-rows=%lld "
+                   "--append-batches=%d --append-only\n%s",
+                   seed, config.Label().c_str(), batch, cuts.size() - 1,
+                   static_cast<int>(cuts[batch]), params.ToString().c_str(),
+                   seed, cli.max_cols, static_cast<long long>(cli.max_rows),
+                   cli.append_batches, diff.c_str());
+      break;  // Later batches of this run inherit the corrupted state.
+    }
+  }
+  return mismatches;
+}
+
 // --self-test: corrupt a correct engine answer in the three ways a real
 // minimality bug would (dropped FD, non-minimal FD, dropped UCC) and check
 // the differ flags each one — so the harness itself cannot rot silently.
@@ -453,7 +594,8 @@ int SelfTest(const CliOptions& cli) {
 void PrintUsage(FILE* out) {
   std::fprintf(out,
                "usage: muds_diff [--seeds=N] [--start-seed=N] [--max-cols=N]\n"
-               "                 [--max-rows=N] [--verbose] [--self-test]\n");
+               "                 [--max-rows=N] [--append-batches=N]\n"
+               "                 [--append-only] [--verbose] [--self-test]\n");
 }
 
 bool ParseIntFlag(const std::string& arg, const char* prefix, long long* out) {
@@ -482,6 +624,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
       cli->max_cols = static_cast<int>(value);
     } else if (ParseIntFlag(arg, "--max-rows=", &value) && value >= 2) {
       cli->max_rows = value;
+    } else if (ParseIntFlag(arg, "--append-batches=", &value) && value >= 0) {
+      cli->append_batches = static_cast<int>(value);
+    } else if (arg == "--append-only") {
+      cli->append_only = true;
     } else if (arg == "--verbose") {
       cli->verbose = true;
     } else if (arg == "--self-test") {
@@ -505,12 +651,18 @@ int main(int argc, char** argv) {
   if (cli.self_test) return SelfTest(cli);
 
   const std::vector<EngineConfig> configs = ConfigMatrix();
+  const std::vector<EngineConfig> append_configs = AppendConfigMatrix();
   int mismatches = 0;
   int runs = 0;
   for (int seed = cli.start_seed; seed < cli.start_seed + cli.seeds; ++seed) {
-    mismatches += RunSeed(seed, cli, configs);
-    // 3 profiling engines x full matrix + TANE per io mode.
-    runs += 3 * static_cast<int>(configs.size()) + 2;
+    if (!cli.append_only) {
+      mismatches += RunSeed(seed, cli, configs);
+      // 3 profiling engines x full matrix + TANE per io mode.
+      runs += 3 * static_cast<int>(configs.size()) + 2;
+    }
+    if (cli.append_batches > 0) {
+      mismatches += RunAppendSeed(seed, cli, append_configs, &runs);
+    }
   }
   std::fprintf(stderr,
                "muds_diff: %d seeds, %d engine runs, %d mismatch%s\n",

@@ -8,6 +8,16 @@
 //   --separator=C                         CSV field separator (default ,)
 //   --no-header                           first record is data, not names
 //   --max-rows=N                          profile only the first N rows
+//   --append=FILE                         profile INPUT.csv, then append
+//                                         FILE's rows (same schema, no
+//                                         header requirement beyond the
+//                                         dialect) and incrementally repair
+//                                         the dependency sets instead of
+//                                         re-profiling; repeatable, batches
+//                                         apply in order. Incompatible with
+//                                         --null-unequal (its per-file NULL
+//                                         sentinels would make incremental
+//                                         and from-scratch runs diverge)
 //   --null-token=S                        cells equal to S are NULL
 //   --null-unequal                        NULL != NULL semantics
 //   --io=buffered|stream                  ingest engine (default buffered:
@@ -55,13 +65,16 @@
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on I/O or parse errors.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/trace.h"
+#include "core/incremental.h"
 #include "core/profiler.h"
 #include "core/report.h"
 #include "data/statistics.h"
@@ -73,6 +86,7 @@ using namespace muds;
 
 struct CliOptions {
   std::string input;
+  std::vector<std::string> append_paths;
   ProfileOptions profile;
   bool json = false;
   bool quiet = false;
@@ -89,6 +103,7 @@ void PrintUsage(FILE* out) {
       out,
       "usage: muds_profile INPUT.csv [--algorithm=muds|hfun|baseline|auto]\n"
       "                    [--separator=C] [--no-header] [--max-rows=N]\n"
+      "                    [--append=FILE ...]\n"
       "                    [--null-token=S] [--null-unequal] [--seed=N]\n"
       "                    [--io=buffered|stream] [--threads=N]\n"
       "                    [--pli-budget-mb=N] [--pli-impl=auto|csr|bitmap]\n"
@@ -134,6 +149,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
         return false;
       }
       options->profile.csv.max_rows = max_rows;
+    } else if (arg.rfind("--append=", 0) == 0) {
+      const std::string path = arg.substr(9);
+      if (path.empty()) {
+        std::fprintf(stderr, "--append expects a file path\n");
+        return false;
+      }
+      options->append_paths.push_back(path);
     } else if (arg.rfind("--null-token=", 0) == 0) {
       options->profile.csv.null_token = arg.substr(13);
     } else if (arg == "--null-unequal") {
@@ -149,8 +171,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
         return false;
       }
     } else if (arg.rfind("--seed=", 0) == 0) {
-      options->profile.seed =
-          static_cast<uint64_t>(std::strtoull(arg.c_str() + 7, nullptr, 10));
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long seed = std::strtoull(arg.c_str() + 7, &end, 10);
+      if (end == arg.c_str() + 7 || *end != '\0' || errno == ERANGE ||
+          arg[7] == '-') {
+        std::fprintf(stderr, "--seed expects a non-negative integer\n");
+        return false;
+      }
+      options->profile.seed = static_cast<uint64_t>(seed);
     } else if (arg.rfind("--threads=", 0) == 0) {
       char* end = nullptr;
       const long threads = std::strtol(arg.c_str() + 10, &end, 10);
@@ -230,7 +259,35 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     std::fprintf(stderr, "missing input file\n");
     return false;
   }
+  if (!options->append_paths.empty() &&
+      options->profile.csv.nulls == NullSemantics::kNullUnequal) {
+    // kNullUnequal rewrites each NULL into a per-file unique sentinel, so
+    // parsing batches separately cannot reproduce a from-scratch parse of
+    // the concatenated input — the incremental == from-scratch guarantee
+    // would not hold. Refuse instead of silently diverging.
+    std::fprintf(stderr, "--append cannot be combined with --null-unequal\n");
+    return false;
+  }
   return true;
+}
+
+// The incremental path: profile INPUT, then feed each --append batch to the
+// IncrementalProfiler. Mirrors ProfileCsvFile's thread inheritance (the
+// session thread count drives the ingest engine unless the CSV dialect
+// pinned its own).
+Result<ProfilingResult> ProfileWithAppends(const CliOptions& options) {
+  CsvOptions csv = options.profile.csv;
+  if (csv.num_threads == 1) csv.num_threads = options.profile.num_threads;
+  Result<Relation> base = CsvReader::ReadFile(options.input, csv);
+  if (!base.ok()) return base.status();
+  IncrementalProfiler profiler(base.value(), options.profile);
+  for (const std::string& path : options.append_paths) {
+    Result<Relation> batch = CsvReader::ReadFile(path, csv);
+    if (!batch.ok()) return batch.status();
+    const Status appended = profiler.Append(batch.value());
+    if (!appended.ok()) return appended;
+  }
+  return profiler.Result();
 }
 
 }  // namespace
@@ -243,7 +300,9 @@ int main(int argc, char** argv) {
   }
   if (!options.trace_path.empty()) TraceCollector::Global().Start();
   Result<ProfilingResult> result =
-      ProfileCsvFile(options.input, options.profile);
+      options.append_paths.empty()
+          ? ProfileCsvFile(options.input, options.profile)
+          : ProfileWithAppends(options);
   if (!options.trace_path.empty()) {
     TraceCollector& collector = TraceCollector::Global();
     collector.Stop();
@@ -282,13 +341,23 @@ int main(int argc, char** argv) {
 
   if (options.stats || options.soft_fds) {
     // Re-read once for the supplementary analyses (they operate on the
-    // relation, not on the dependency sets).
+    // relation, not on the dependency sets). Replay any --append batches so
+    // the statistics describe the same grown relation that was profiled.
     Result<Relation> relation =
         CsvReader::ReadFile(options.input, options.profile.csv);
     if (!relation.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    relation.status().ToString().c_str());
       return 2;
+    }
+    for (const std::string& path : options.append_paths) {
+      Result<Relation> batch = CsvReader::ReadFile(path, options.profile.csv);
+      if (!batch.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     batch.status().ToString().c_str());
+        return 2;
+      }
+      relation.value().AppendBatch(batch.value());
     }
     if (options.stats) {
       std::printf("\ncolumn statistics:\n%s",
