@@ -79,6 +79,7 @@ int Run(int argc, char** argv) {
   double incremental_ms = 0.0;
   double scratch_ms = 0.0;
   IncrementalProfiler::Stats stats;
+  std::vector<std::pair<std::string, int64_t>> inc_metrics;
   std::vector<std::pair<double, double>> per_batch(
       static_cast<size_t>(batches));
   for (int rep = 0; rep < reps; ++rep) {
@@ -126,6 +127,7 @@ int Run(int argc, char** argv) {
     if (rep == 0 || inc < incremental_ms) incremental_ms = inc;
     if (rep == 0 || scr < scratch_ms) scratch_ms = scr;
     stats = profiler.stats();
+    inc_metrics = profiler.Result().metrics;
   }
 
   for (int b = 0; b < batches; ++b) {
@@ -156,7 +158,8 @@ int Run(int argc, char** argv) {
               {"incremental_ms_x1000",
                static_cast<int64_t>(incremental_ms * 1000)},
               {"incremental_speedup_x100",
-               static_cast<int64_t>(speedup * 100.0)}});
+               static_cast<int64_t>(speedup * 100.0)}},
+             inc_metrics);
   writer.Add("from-scratch/reprofile", scratch_ms, args.threads,
              {{"rows", rows}, {"batches", batches}});
   writer.Write();

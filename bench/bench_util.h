@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/build_info.h"
 #include "common/json.h"
 #include "common/simd.h"
 #include "core/profiler.h"
@@ -98,6 +99,7 @@ inline MachineInfo DetectMachine() {
 /// at destruction), so the perf trajectory is trackable across commits:
 ///
 ///   {"bench": "fig6_rows",
+///    "build": {"git": "0abc123", "compiler": "gcc ...", "simd": "avx2"},
 ///    "machine": {"cpu": "...", "simd": "avx2", "hardware_threads": 8},
 ///    "results": [
 ///     {"name": "muds/rows=10000", "wall_ms": 12.3, "threads": 1,
@@ -172,13 +174,18 @@ class JsonResultWriter {
       return;
     }
     const MachineInfo machine = DetectMachine();
+    const BuildInfo build = GetBuildInfo();
     std::fprintf(out,
                  "{\"bench\": \"%s\",\n"
+                 " \"build\": {\"git\": %s, \"compiler\": %s, "
+                 "\"simd\": \"%s\"},\n"
                  " \"machine\": {\"cpu\": %s, \"simd\": \"%s\", "
                  "\"hardware_threads\": %u},\n"
                  " \"results\": [\n",
-                 bench_name_.c_str(), json::Quote(machine.cpu).c_str(),
-                 machine.simd, machine.hardware_threads);
+                 bench_name_.c_str(), json::Quote(build.git).c_str(),
+                 json::Quote(build.compiler).c_str(), build.simd,
+                 json::Quote(machine.cpu).c_str(), machine.simd,
+                 machine.hardware_threads);
     for (size_t i = 0; i < rows_.size(); ++i) {
       std::fprintf(out, "%s%s\n", rows_[i].c_str(),
                    i + 1 < rows_.size() ? "," : "");

@@ -1,0 +1,42 @@
+#ifndef MUDS_COMMON_BUILD_INFO_H_
+#define MUDS_COMMON_BUILD_INFO_H_
+
+#include "common/simd.h"
+
+namespace muds {
+
+/// Provenance of this binary, emitted into every BENCH_*.json and --json
+/// report so a recorded number is attributable to an exact source revision,
+/// compiler, and SIMD level when comparing runs across commits or machines.
+struct BuildInfo {
+  /// `git describe --always --dirty --tags` captured at CMake configure
+  /// time ("unknown" when built outside a git checkout).
+  const char* git;
+  /// Compiler identification string.
+  const char* compiler;
+  /// Compile-time SIMD level of the PLI hot kernels (the MUDS_SIMD cmake
+  /// option as resolved for this binary).
+  const char* simd;
+};
+
+inline BuildInfo GetBuildInfo() {
+  BuildInfo info;
+#ifdef MUDS_GIT_DESCRIBE
+  info.git = MUDS_GIT_DESCRIBE;
+#else
+  info.git = "unknown";
+#endif
+#if defined(__clang_version__)
+  info.compiler = "clang " __clang_version__;
+#elif defined(__VERSION__)
+  info.compiler = "gcc " __VERSION__;
+#else
+  info.compiler = "unknown";
+#endif
+  info.simd = simd::LevelName(simd::kCompiledLevel);
+  return info;
+}
+
+}  // namespace muds
+
+#endif  // MUDS_COMMON_BUILD_INFO_H_

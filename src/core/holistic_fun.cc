@@ -1,9 +1,13 @@
 #include "core/holistic_fun.h"
 
+#include <memory>
+#include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "core/evidence.h"
 #include "fd/fun.h"
 #include "ind/spider.h"
 #include "pli/pli_cache.h"
@@ -23,10 +27,19 @@ std::vector<Ind> DiscoverInds(const Relation& relation,
   return Spider::Discover(relation);
 }
 
+void AccumulateSampling(const FdDiscoveryResult& fd_result,
+                        HolisticResult* result) {
+  result->sampling_pairs += fd_result.sampling_pairs;
+  result->sampling_refuted += fd_result.sampling_refuted;
+  result->sampling_fed_back += fd_result.sampling_fed_back;
+  result->sampling_probe_ns += fd_result.sampling_probe_ns;
+}
+
 }  // namespace
 
 HolisticResult HolisticFun::Run(const Relation& relation, int num_threads,
-                                PliImpl pli_impl, const SpillConfig& spill) {
+                                PliImpl pli_impl, const SpillConfig& spill,
+                                const SamplingConfig& sampling) {
   HolisticResult result;
   ThreadPool pool(num_threads);
   result.num_threads_used = pool.NumThreads();
@@ -48,11 +61,12 @@ HolisticResult HolisticFun::Run(const Relation& relation, int num_threads,
         });
     {
       MUDS_TRACE_SPAN(&result.timings, "FUN");
-      FdDiscoveryResult fd_result = Fun::Discover(relation, pli_impl);
+      FdDiscoveryResult fd_result = Fun::Discover(relation, pli_impl, sampling);
       result.fds = std::move(fd_result.fds);
       result.uccs = std::move(fd_result.uccs);
       result.fd_checks = fd_result.fd_checks;
       result.pli_intersects = fd_result.pli_intersects;
+      AccumulateSampling(fd_result, &result);
     }
     auto [discovered, spider_micros] = inds.get();
     result.inds = std::move(discovered);
@@ -65,18 +79,20 @@ HolisticResult HolisticFun::Run(const Relation& relation, int num_threads,
   }
   {
     MUDS_TRACE_SPAN(&result.timings, "FUN");
-    FdDiscoveryResult fd_result = Fun::Discover(relation, pli_impl);
+    FdDiscoveryResult fd_result = Fun::Discover(relation, pli_impl, sampling);
     result.fds = std::move(fd_result.fds);
     result.uccs = std::move(fd_result.uccs);
     result.fd_checks = fd_result.fd_checks;
     result.pli_intersects = fd_result.pli_intersects;
+    AccumulateSampling(fd_result, &result);
   }
   return result;
 }
 
 HolisticResult Baseline::Run(const Relation& relation, uint64_t seed,
                              int num_threads, size_t pli_budget_bytes,
-                             PliImpl pli_impl, const SpillConfig& spill) {
+                             PliImpl pli_impl, const SpillConfig& spill,
+                             const SamplingConfig& sampling) {
   HolisticResult result;
   ThreadPool pool(num_threads);
   result.num_threads_used = pool.NumThreads();
@@ -86,11 +102,27 @@ HolisticResult Baseline::Run(const Relation& relation, uint64_t seed,
   }
   {
     MUDS_TRACE_SPAN(&result.timings, "DUCC");
-    // DUCC builds its own PLIs: no sharing in the baseline.
+    // DUCC builds its own PLIs: no sharing in the baseline. The same goes
+    // for its evidence store — FUN samples its own below, matching the
+    // baseline's no-sharing contract.
     PliCache cache(relation, pli_budget_bytes, &pool, pli_impl, spill);
+    std::optional<EvidenceStore> evidence;
+    if (sampling.enabled() && relation.NumRows() > 1) {
+      MUDS_TRACE_SPAN("evidenceBuild");
+      evidence.emplace(relation);
+      std::vector<std::shared_ptr<const Pli>> pinned;
+      std::vector<std::pair<int, const Pli*>> column_plis;
+      const ColumnSet active = relation.ActiveColumns();
+      for (int c = active.First(); c >= 0; c = active.NextAtLeast(c + 1)) {
+        pinned.push_back(cache.Get(ColumnSet::Single(c)));
+        column_plis.emplace_back(c, pinned.back().get());
+      }
+      SampleEvidence(sampling, column_plis, &*evidence);
+    }
     Ducc::Options options;
     options.seed = seed;
-    result.uccs = Ducc::Discover(relation, &cache, options);
+    result.uccs = Ducc::Discover(relation, &cache, options, nullptr,
+                                 evidence ? &*evidence : nullptr);
     result.pli_intersects += cache.NumIntersects();
     const PliCache::Stats stats = cache.GetStats();
     result.pli_cache_hits = stats.hits;
@@ -98,13 +130,21 @@ HolisticResult Baseline::Run(const Relation& relation, uint64_t seed,
     result.pli_cache_evictions = stats.evictions;
     result.pli_cache_spill_writes = stats.spill_writes;
     result.pli_cache_spill_reloads = stats.spill_reloads;
+    if (evidence) {
+      const EvidenceStore::Stats evidence_stats = evidence->GetStats();
+      result.sampling_pairs += evidence_stats.pairs;
+      result.sampling_refuted += evidence_stats.refuted;
+      result.sampling_fed_back += evidence_stats.fed_back;
+      result.sampling_probe_ns += evidence_stats.probe_ns;
+    }
   }
   {
     MUDS_TRACE_SPAN(&result.timings, "FUN");
-    FdDiscoveryResult fd_result = Fun::Discover(relation, pli_impl);
+    FdDiscoveryResult fd_result = Fun::Discover(relation, pli_impl, sampling);
     result.fds = std::move(fd_result.fds);
     result.fd_checks = fd_result.fd_checks;
     result.pli_intersects += fd_result.pli_intersects;
+    AccumulateSampling(fd_result, &result);
   }
   return result;
 }

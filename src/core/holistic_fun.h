@@ -3,6 +3,7 @@
 
 #include "common/spill.h"
 #include "common/timer.h"
+#include "core/sampling.h"
 #include "data/metadata.h"
 #include "data/relation.h"
 #include "pli/position_list_index.h"
@@ -27,6 +28,11 @@ struct HolisticResult {
   /// Threads the run actually used (0 in `num_threads` resolves to the
   /// hardware concurrency).
   int num_threads_used = 1;
+  /// Sampling-first pre-validation counters (0 with sampling disabled).
+  int64_t sampling_pairs = 0;
+  int64_t sampling_refuted = 0;
+  int64_t sampling_fed_back = 0;
+  int64_t sampling_probe_ns = 0;
 };
 
 /// Holistic FUN (§3.2): the "FDs and UCCs simultaneously" holistic
@@ -44,9 +50,12 @@ class HolisticFun {
   /// `pli_impl` selects the PLI representation FUN materializes its
   /// lattice with (the discovered sets are identical for every choice).
   /// `spill` (when enabled) routes SPIDER through its external sort-merge.
+  /// `sampling` (when enabled) lets FUN refute Lemma-1 candidates against a
+  /// sampled evidence store first; refutation-only, identical results.
   static HolisticResult Run(const Relation& relation, int num_threads = 1,
                             PliImpl pli_impl = PliImpl::kAuto,
-                            const SpillConfig& spill = SpillConfig());
+                            const SpillConfig& spill = SpillConfig(),
+                            const SamplingConfig& sampling = SamplingConfig());
 };
 
 /// The evaluation baseline (§6): the sequential execution of the three
@@ -63,12 +72,15 @@ class Baseline {
   /// `pli_budget_bytes` bounds DUCC's private PLI cache (0 = unlimited);
   /// the discovered dependency sets are identical for every budget.
   /// `spill` (when enabled) gives that cache a cold tier and routes SPIDER
-  /// through the external sort-merge.
+  /// through the external sort-merge. `sampling` (when enabled) gives DUCC
+  /// and FUN each a private sampled evidence store for candidate
+  /// refutation — no sharing, matching the baseline's no-sharing contract.
   static HolisticResult Run(const Relation& relation, uint64_t seed = 1,
                             int num_threads = 1,
                             size_t pli_budget_bytes = size_t{1} << 30,
                             PliImpl pli_impl = PliImpl::kAuto,
-                            const SpillConfig& spill = SpillConfig());
+                            const SpillConfig& spill = SpillConfig(),
+                            const SamplingConfig& sampling = SamplingConfig());
 };
 
 }  // namespace muds

@@ -10,6 +10,7 @@
 
 #include "common/check.h"
 #include "common/trace.h"
+#include "core/sampling.h"
 #include "data/metadata.h"
 #include "data/preprocess.h"
 #include "ind/spider.h"
@@ -32,6 +33,7 @@ struct IncMetrics {
   Counter* broken;
   Counter* rediscovered;
   Counter* explored_nodes;
+  Counter* evidence_hits;
 
   static const IncMetrics& Get() {
     static const IncMetrics metrics;
@@ -49,6 +51,7 @@ struct IncMetrics {
     broken = registry.GetCounter("incremental.broken");
     rediscovered = registry.GetCounter("incremental.rediscovered");
     explored_nodes = registry.GetCounter("incremental.explored_nodes");
+    evidence_hits = registry.GetCounter("incremental.evidence_hits");
   }
 };
 
@@ -116,6 +119,22 @@ IncrementalProfiler::IncrementalProfiler(const Relation& base,
   cache_ = std::make_unique<PliCache>(*relation_, options_.pli_budget_bytes,
                                       pool_.get(), options_.pli_impl,
                                       options_.spill);
+
+  EvidenceStore::RegisterMetrics();
+  // Built even for a trivial base relation: later batches still seed and
+  // consult the store (sampling over empty PLIs just draws nothing).
+  if (options_.sampling.enabled()) {
+    MUDS_TRACE_SPAN(&timings_, "evidenceBuild");
+    evidence_ = std::make_unique<EvidenceStore>(*relation_);
+    std::vector<std::shared_ptr<const Pli>> pinned;
+    std::vector<std::pair<int, const Pli*>> column_plis;
+    const ColumnSet active = relation_->ActiveColumns();
+    for (int c = active.First(); c >= 0; c = active.NextAtLeast(c + 1)) {
+      pinned.push_back(cache_->Get(ColumnSet::Single(c)));
+      column_plis.emplace_back(c, pinned.back().get());
+    }
+    SampleEvidence(options_.sampling, column_plis, evidence_.get());
+  }
 
   row_index_.reserve(static_cast<size_t>(relation_->NumRows()));
   for (RowId row = 0; row < relation_->NumRows(); ++row) {
@@ -226,6 +245,42 @@ Status IncrementalProfiler::Append(const Relation& batch) {
                           row)])];
       }
     }
+    // Evidence seeding: every collision column of an appended row names a
+    // concrete partner row sharing the row's value there — a definite row
+    // pair the store can record before any survivor is re-validated. (The
+    // collision *set* itself is not pair evidence: each column's partner
+    // is a different row.) The patched single-column PLIs keep their
+    // clusters in code order, so the partner is one binary search away.
+    std::vector<std::shared_ptr<const Pli>> column_plis;
+    if (evidence_ != nullptr) {
+      column_plis.reserve(static_cast<size_t>(num_columns));
+      for (int c = 0; c < num_columns; ++c) {
+        column_plis.push_back(cache_->Get(ColumnSet::Single(c)));
+      }
+    }
+    const auto seed_pair = [&](RowId row, int c) {
+      const Pli& pli = *column_plis[static_cast<size_t>(c)];
+      const int32_t code = relation_->Code(row, c);
+      int64_t lo = 0;
+      int64_t hi = pli.NumClusters() - 1;
+      while (lo <= hi) {
+        const int64_t mid = lo + (hi - lo) / 2;
+        const int32_t mid_code = relation_->Code(pli.cluster(mid)[0], c);
+        if (mid_code < code) {
+          lo = mid + 1;
+        } else if (mid_code > code) {
+          hi = mid - 1;
+        } else {
+          for (RowId partner : pli.cluster(mid)) {
+            if (partner != row) {
+              evidence_->AddPair(row, partner, false);
+              return;
+            }
+          }
+          return;
+        }
+      }
+    };
     std::vector<int> collision_columns;
     for (RowId row = delta.old_num_rows; row < delta.new_num_rows; ++row) {
       collision_columns.clear();
@@ -235,6 +290,9 @@ Status IncrementalProfiler::Append(const Relation& batch) {
             delta.columns[static_cast<size_t>(c)].old_count[code] +
             suffix_count[static_cast<size_t>(c)][code];
         if (total >= 2) collision_columns.push_back(c);
+      }
+      if (evidence_ != nullptr) {
+        for (int c : collision_columns) seed_pair(row, c);
       }
       // The empty set is inserted too: it witnesses the empty-LHS/empty-UCC
       // dependencies, which any appended row can break.
@@ -264,11 +322,21 @@ void IncrementalProfiler::MaintainUccs(const SetTrie& witness) {
       kept.push_back(ucc);
       continue;
     }
+    // Sampling-first: a recorded pair agreeing on all of the UCC is a
+    // definite break — skip the PLI re-validation entirely.
+    if (evidence_ != nullptr && evidence_->RefutesUcc(ucc)) {
+      ++stats_.evidence_hits;
+      metrics.evidence_hits->Increment();
+      broken.push_back(ucc);
+      continue;
+    }
     ++stats_.revalidated;
     metrics.revalidated->Increment();
-    if (cache_->Get(ucc)->IsUnique()) {
+    const std::shared_ptr<const Pli> pli = cache_->Get(ucc);
+    if (pli->IsUnique()) {
       kept.push_back(ucc);
     } else {
+      if (evidence_ != nullptr) evidence_->FeedBackUccViolation(*pli);
       broken.push_back(ucc);
     }
   }
@@ -311,14 +379,22 @@ void IncrementalProfiler::MaintainUccs(const SetTrie& witness) {
     std::sort(level.begin(), level.end());
     for (const ColumnSet& candidate : level) {
       if (confirmed.ContainsSubsetOf(candidate)) continue;
+      if (evidence_ != nullptr && evidence_->RefutesUcc(candidate)) {
+        ++stats_.evidence_hits;
+        metrics.evidence_hits->Increment();
+        expand(candidate);
+        continue;
+      }
       ++stats_.explored_nodes;
       metrics.explored_nodes->Increment();
-      if (cache_->Get(candidate)->IsUnique()) {
+      const std::shared_ptr<const Pli> pli = cache_->Get(candidate);
+      if (pli->IsUnique()) {
         confirmed.Insert(candidate);
         discovered.push_back(candidate);
         ++stats_.rediscovered;
         metrics.rediscovered->Increment();
       } else {
+        if (evidence_ != nullptr) evidence_->FeedBackUccViolation(*pli);
         expand(candidate);
       }
     }
@@ -355,6 +431,7 @@ void IncrementalProfiler::MaintainFds(const SetTrie& witness) {
   std::atomic<int64_t> broken_total{0};
   std::atomic<int64_t> rediscovered{0};
   std::atomic<int64_t> explored{0};
+  std::atomic<int64_t> evidence_hits{0};
 
   const auto process_rhs = [&](int64_t index) {
     const int rhs = rhs_list[static_cast<size_t>(index)];
@@ -371,10 +448,22 @@ void IncrementalProfiler::MaintainFds(const SetTrie& witness) {
         kept.push_back(lhs);
         continue;
       }
+      // Sampling-first (thread-safe: probes take a shared lock): a
+      // recorded pair agreeing on the LHS but not the RHS is a definite
+      // break — skip the PLI re-validation.
+      if (evidence_ != nullptr && evidence_->RefutesFd(lhs, rhs)) {
+        ++evidence_hits;
+        broken.push_back(lhs);
+        continue;
+      }
       ++revalidated;
-      if (cache_->Get(lhs)->Refines(rhs_column)) {
+      const std::shared_ptr<const Pli> pli = cache_->Get(lhs);
+      if (pli->Refines(rhs_column)) {
         kept.push_back(lhs);
       } else {
+        if (evidence_ != nullptr) {
+          evidence_->FeedBackFdViolation(*pli, rhs_column);
+        }
         broken.push_back(lhs);
       }
     }
@@ -404,12 +493,22 @@ void IncrementalProfiler::MaintainFds(const SetTrie& witness) {
         std::sort(level.begin(), level.end());
         for (const ColumnSet& candidate : level) {
           if (confirmed.ContainsSubsetOf(candidate)) continue;
+          if (evidence_ != nullptr &&
+              evidence_->RefutesFd(candidate, rhs)) {
+            ++evidence_hits;
+            expand(candidate);
+            continue;
+          }
           ++explored;
-          if (cache_->Get(candidate)->Refines(rhs_column)) {
+          const std::shared_ptr<const Pli> pli = cache_->Get(candidate);
+          if (pli->Refines(rhs_column)) {
             confirmed.Insert(candidate);
             kept.push_back(candidate);
             ++rediscovered;
           } else {
+            if (evidence_ != nullptr) {
+              evidence_->FeedBackFdViolation(*pli, rhs_column);
+            }
             expand(candidate);
           }
         }
@@ -433,11 +532,13 @@ void IncrementalProfiler::MaintainFds(const SetTrie& witness) {
   stats_.broken += broken_total.load();
   stats_.rediscovered += rediscovered.load();
   stats_.explored_nodes += explored.load();
+  stats_.evidence_hits += evidence_hits.load();
   metrics.revalidated->Add(revalidated.load());
   metrics.screened_out->Add(screened_out.load());
   metrics.broken->Add(broken_total.load());
   metrics.rediscovered->Add(rediscovered.load());
   metrics.explored_nodes->Add(explored.load());
+  metrics.evidence_hits->Add(evidence_hits.load());
 
   std::vector<Fd> fds;
   for (int rhs = 0; rhs < num_columns; ++rhs) {
@@ -473,6 +574,8 @@ ProfilingResult IncrementalProfiler::Result() const {
                                stats_.rediscovered);
   result.counters.emplace_back("incremental_explored_nodes",
                                stats_.explored_nodes);
+  result.counters.emplace_back("incremental_evidence_hits",
+                               stats_.evidence_hits);
   if (cache_) {
     const PliCache::Stats cache_stats = cache_->GetStats();
     result.counters.emplace_back("incremental_pli_cache_hits",

@@ -10,6 +10,7 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "core/evidence.h"
 #include "core/profiler.h"
 #include "data/relation.h"
 #include "pli/pli_cache.h"
@@ -70,6 +71,9 @@ class IncrementalProfiler {
     int64_t broken = 0;               // Previously-minimal deps that fell.
     int64_t rediscovered = 0;         // New minimal deps from re-exploration.
     int64_t explored_nodes = 0;       // Lattice nodes the re-exploration hit.
+    int64_t evidence_hits = 0;        // Candidates refuted by the evidence
+                                      // store instead of a PLI check (0
+                                      // unless sampling is enabled).
   };
 
   /// Profiles `base` from scratch (deduplicating first, like
@@ -116,6 +120,11 @@ class IncrementalProfiler {
   std::unique_ptr<ThreadPool> pool_;
   std::optional<Relation> relation_;       // Stable address; mutated in place.
   std::unique_ptr<PliCache> cache_;
+  // Sampled-pair evidence, persisted across batches (sampling enabled
+  // only). Old pairs stay valid under appends — existing values never
+  // change — and each batch seeds fresh pairs from its collision columns,
+  // so survivors the sampler can refute skip their PLI re-validation.
+  std::unique_ptr<EvidenceStore> evidence_;
 
   std::vector<Ind> inds_;
   std::vector<ColumnSet> uccs_;

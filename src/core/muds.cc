@@ -11,6 +11,7 @@
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "core/evidence.h"
 #include "fd/fd_util.h"
 #include "ind/spider.h"
 #include "pli/pli_cache.h"
@@ -268,7 +269,18 @@ class MudsRunner {
   ColumnSet CheckFds(const ColumnSet& lhs, const ColumnSet& candidates,
                      int64_t* counter) {
     RhsKnowledge& knowledge = check_memo_[lhs];
-    const ColumnSet unchecked = candidates.Difference(knowledge.checked);
+    ColumnSet unchecked = candidates.Difference(knowledge.checked);
+    // Sampling-first: one batched evidence probe refutes every recorded
+    // non-FD with this left-hand side at once — those candidates never
+    // reach the PLI. Refuted entries are definite non-FDs, so recording
+    // them as checked-and-invalid keeps the memo (and the negative
+    // knowledge later harvested by the exhaustive completion) exact.
+    if (!unchecked.Empty() && evidence_) {
+      const ColumnSet refuted =
+          evidence_->RefutedRhs(lhs).Intersect(unchecked);
+      knowledge.checked = knowledge.checked.Union(refuted);
+      unchecked = unchecked.Difference(refuted);
+    }
     if (!unchecked.Empty()) {
       const std::shared_ptr<const Pli> pli = cache_->Get(lhs);
       // Batched refinement: one probe-table pass validates every unchecked
@@ -288,7 +300,14 @@ class MudsRunner {
           static_cast<int64_t>(batch_indices_.size()));
       pli->RefinesAll(batch_columns_, &batch_valid_);
       for (size_t i = 0; i < batch_indices_.size(); ++i) {
-        if (batch_valid_[i]) knowledge.valid.Add(batch_indices_[i]);
+        if (batch_valid_[i]) {
+          knowledge.valid.Add(batch_indices_[i]);
+        } else if (evidence_) {
+          // Adaptive growth: the sampler missed this violation; feed a
+          // violating pair back so sibling candidates get refuted free.
+          evidence_->FeedBackFdViolation(
+              *pli, relation_.GetColumn(batch_indices_[i]));
+        }
       }
       knowledge.checked = knowledge.checked.Union(unchecked);
     }
@@ -352,9 +371,19 @@ class MudsRunner {
     }
     RhsKnowledge& local = state->memo[lhs];
     if (local.checked.Contains(rhs)) return local.valid.Contains(rhs);
+    // Sampling-first: probe the (thread-safe) evidence store before
+    // touching the PLI. A hit is a definite non-FD.
+    if (evidence_ && evidence_->RefutesFd(lhs, rhs)) {
+      local.checked.Add(rhs);
+      return false;
+    }
     ++state->checks;
     MudsCounters::Get().fd_checks->Increment();
-    const bool holds = cache_->Get(lhs)->Refines(relation_.GetColumn(rhs));
+    const std::shared_ptr<const Pli> pli = cache_->Get(lhs);
+    const bool holds = pli->Refines(relation_.GetColumn(rhs));
+    if (!holds && evidence_) {
+      evidence_->FeedBackFdViolation(*pli, relation_.GetColumn(rhs));
+    }
     local.checked.Add(rhs);
     if (holds) local.valid.Add(rhs);
     return holds;
@@ -386,6 +415,10 @@ class MudsRunner {
   MudsResult result_;
 
   std::optional<PliCache> cache_;
+  // Sampled row-pair evidence (engaged only with options_.sampling on and
+  // more than one row). Probes take a shared lock; feedback inserts take a
+  // unique lock, so the parallel phases can consult it concurrently.
+  std::optional<EvidenceStore> evidence_;
   std::vector<ColumnSet> uccs_;
   std::optional<UccStore> ucc_store_;
   FdStore fd_store_;
@@ -415,6 +448,24 @@ MudsResult MudsRunner::Run() {
   pool_.emplace(options_.num_threads);
   result_.stats.num_threads_used = pool_->NumThreads();
   RunSpider();
+  // Eager registration: the sampling.* registry counters must exist (at
+  // zero) even on runs with sampling disabled, so observability tooling
+  // can rely on their presence.
+  EvidenceStore::RegisterMetrics();
+  if (options_.sampling.enabled() && relation_.NumRows() > 1) {
+    MUDS_TRACE_SPAN(&result_.timings, "evidenceBuild");
+    evidence_.emplace(relation_);
+    // The single-column PLIs are pinned in the cache; keep the shared_ptrs
+    // alive for the duration of the sampling pass.
+    std::vector<std::shared_ptr<const Pli>> pinned;
+    std::vector<std::pair<int, const Pli*>> column_plis;
+    const ColumnSet active = relation_.ActiveColumns();
+    for (int c = active.First(); c >= 0; c = active.NextAtLeast(c + 1)) {
+      pinned.push_back(cache_->Get(ColumnSet::Single(c)));
+      column_plis.emplace_back(c, pinned.back().get());
+    }
+    SampleEvidence(options_.sampling, column_plis, &*evidence_);
+  }
   RunDucc();
 
   if (relation_.NumRows() > 1) {
@@ -458,6 +509,13 @@ MudsResult MudsRunner::Run() {
   result_.stats.pli_cache_spill_writes = cache_stats.spill_writes;
   result_.stats.pli_cache_spill_reloads = cache_stats.spill_reloads;
   result_.stats.pli_cache_spill_bytes = cache_stats.spill_bytes;
+  if (evidence_) {
+    const EvidenceStore::Stats evidence_stats = evidence_->GetStats();
+    result_.stats.sampling_pairs = evidence_stats.pairs;
+    result_.stats.sampling_refuted = evidence_stats.refuted;
+    result_.stats.sampling_fed_back = evidence_stats.fed_back;
+    result_.stats.sampling_probe_ns = evidence_stats.probe_ns;
+  }
   return result_;
 }
 
@@ -495,7 +553,8 @@ void MudsRunner::RunDucc() {
   Ducc::Options ducc_options;
   ducc_options.seed = options_.seed;
   uccs_ = Ducc::Discover(relation_, &*cache_, ducc_options,
-                         &result_.stats.ducc);
+                         &result_.stats.ducc,
+                         evidence_ ? &*evidence_ : nullptr);
   ucc_store_.emplace(uccs_, options_.use_prefix_tree);
   z_ = ColumnSet();
   for (const ColumnSet& ucc : uccs_) z_ = z_.Union(ucc);

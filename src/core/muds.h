@@ -6,6 +6,7 @@
 
 #include "common/spill.h"
 #include "common/timer.h"
+#include "core/sampling.h"
 #include "data/metadata.h"
 #include "data/relation.h"
 #include "pli/position_list_index.h"
@@ -83,6 +84,17 @@ struct MudsOptions {
   /// budget applies to each spill file (the PLI tier and the SPIDER runs
   /// use separate, independently capped files).
   SpillConfig spill;
+
+  /// Sampling-first pre-validation (--sample-pairs / --sample-seed). With a
+  /// positive pair budget, a cluster-stratified sample of row pairs drawn
+  /// from the pinned single-column PLIs is materialized into an evidence
+  /// store (agreement bitsets indexed by a negative-cover SetTrie) right
+  /// after SPIDER. Every candidate in DUCC and the FD phases is probed
+  /// against the store before any PLI work: one subset probe refutes it
+  /// outright. Refutation-only — a sampled violation is definite, absence
+  /// proves nothing — so the discovered IND/UCC/FD sets are bit-identical
+  /// at every pair budget, seed, and thread count.
+  SamplingConfig sampling;
 };
 
 /// Counters describing what MUDS did; benches report these alongside
@@ -115,6 +127,13 @@ struct MudsStats {
   /// phases (calculateRZ + exhaustiveCompletion) — the achieved task-level
   /// parallelism; 0 on the sequential path.
   int64_t parallel_tasks = 0;
+  /// Sampling-first pre-validation: pairs sampled (plus fed back by failed
+  /// full validations), candidates refuted by an evidence probe instead of
+  /// a PLI check, and total probe time. All 0 when sampling is disabled.
+  int64_t sampling_pairs = 0;
+  int64_t sampling_refuted = 0;
+  int64_t sampling_fed_back = 0;
+  int64_t sampling_probe_ns = 0;
   Ducc::Stats ducc;
 };
 

@@ -80,6 +80,7 @@ ProfilingResult RunOnDeduped(const Relation& relation,
       muds_options.pli_budget_bytes = options.pli_budget_bytes;
       muds_options.pli_impl = options.pli_impl;
       muds_options.spill = options.spill;
+      muds_options.sampling = options.sampling;
       MudsResult muds = Muds::Run(relation, muds_options);
       result.inds = std::move(muds.inds);
       result.uccs = std::move(muds.uccs);
@@ -107,6 +108,10 @@ ProfilingResult RunOnDeduped(const Relation& relation,
           {"ducc_uniqueness_checks", muds.stats.ducc.uniqueness_checks},
           {"num_threads", muds.stats.num_threads_used},
           {"parallel_tasks", muds.stats.parallel_tasks},
+          {"sampling_pairs", muds.stats.sampling_pairs},
+          {"sampling_refuted", muds.stats.sampling_refuted},
+          {"sampling_fed_back", muds.stats.sampling_fed_back},
+          {"sampling_probe_ns", muds.stats.sampling_probe_ns},
       };
       break;
     }
@@ -115,10 +120,11 @@ ProfilingResult RunOnDeduped(const Relation& relation,
       HolisticResult holistic =
           options.algorithm == Algorithm::kHolisticFun
               ? HolisticFun::Run(relation, options.num_threads,
-                                 options.pli_impl, options.spill)
+                                 options.pli_impl, options.spill,
+                                 options.sampling)
               : Baseline::Run(relation, options.seed, options.num_threads,
                               options.pli_budget_bytes, options.pli_impl,
-                              options.spill);
+                              options.spill, options.sampling);
       result.inds = std::move(holistic.inds);
       result.uccs = std::move(holistic.uccs);
       result.fds = std::move(holistic.fds);
@@ -132,6 +138,10 @@ ProfilingResult RunOnDeduped(const Relation& relation,
           {"pli_cache_spill_writes", holistic.pli_cache_spill_writes},
           {"pli_cache_spill_reloads", holistic.pli_cache_spill_reloads},
           {"num_threads", holistic.num_threads_used},
+          {"sampling_pairs", holistic.sampling_pairs},
+          {"sampling_refuted", holistic.sampling_refuted},
+          {"sampling_fed_back", holistic.sampling_fed_back},
+          {"sampling_probe_ns", holistic.sampling_probe_ns},
       };
       break;
     }

@@ -79,6 +79,13 @@ struct ProfileOptions {
   /// the same way `seed` overrides `muds.seed`. The discovered dependency
   /// sets are identical with spill on or off.
   SpillConfig spill;
+  /// Sampling-first pre-validation (--sample-pairs / --sample-seed),
+  /// applied to every engine: candidates are probed against a sampled
+  /// evidence store of violating row pairs before any PLI work. Overrides
+  /// `muds.sampling` the same way `seed` overrides `muds.seed`.
+  /// Refutation-only, so the discovered dependency sets are identical at
+  /// every pair budget and seed.
+  SamplingConfig sampling;
   /// MUDS-specific knobs (its `seed` field is overridden by `seed` above).
   MudsOptions muds;
   /// CSV dialect for the CSV entry points.

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/build_info.h"
 #include "common/json.h"
 
 namespace muds {
@@ -39,6 +40,10 @@ std::string ProfilingResultToJson(const ProfilingResult& result) {
   const auto& names = result.column_names;
   std::string out = "{\n  \"algorithm\": ";
   out += JsonQuote(AlgorithmName(result.algorithm_used));
+  const BuildInfo build = GetBuildInfo();
+  out += ",\n  \"build\": {\"git\": " + JsonQuote(build.git) +
+         ", \"compiler\": " + JsonQuote(build.compiler) +
+         ", \"simd\": " + JsonQuote(build.simd) + "}";
   out += ",\n  \"columns\": [";
   for (size_t i = 0; i < names.size(); ++i) {
     if (i > 0) out += ',';

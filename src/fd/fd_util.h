@@ -19,6 +19,12 @@ struct FdDiscoveryResult {
   int64_t fd_checks = 0;
   /// Number of PLI intersect operations performed.
   int64_t pli_intersects = 0;
+  /// Sampling-first pre-validation counters (0 unless the algorithm
+  /// supports --sample-pairs and it was enabled).
+  int64_t sampling_pairs = 0;
+  int64_t sampling_refuted = 0;
+  int64_t sampling_fed_back = 0;
+  int64_t sampling_probe_ns = 0;
 };
 
 /// The minimal FDs contributed by constant columns: ∅ → A for every column

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/trace.h"
+#include "core/evidence.h"
 #include "pli/position_list_index.h"
 #include "setops/antichain.h"
 
@@ -48,7 +51,8 @@ int64_t InferCardinality(const ColumnSet& set, CardMap* cards) {
 
 }  // namespace
 
-FdDiscoveryResult Fun::Discover(const Relation& relation, PliImpl impl) {
+FdDiscoveryResult Fun::Discover(const Relation& relation, PliImpl impl,
+                                const SamplingConfig& sampling) {
   FdDiscoveryResult result;
   result.fds = ConstantColumnFds(relation);
   if (relation.NumRows() <= 1) {
@@ -81,6 +85,21 @@ FdDiscoveryResult Fun::Discover(const Relation& relation, PliImpl impl) {
     node.is_key = node.cardinality == num_rows;
     cards.emplace(node.set, node.cardinality);
     level.push_back(std::move(node));
+  }
+
+  // Sampling-first pre-validation (refutation-only): a private evidence
+  // store over the level-1 PLIs. Only the Lemma-1 checks are skippable —
+  // the lattice's PLI intersects must still run, because cardinalities
+  // feed the freeness classification of every superset.
+  std::optional<EvidenceStore> evidence;
+  if (sampling.enabled()) {
+    MUDS_TRACE_SPAN("evidenceBuild");
+    evidence.emplace(relation);
+    std::vector<std::pair<int, const Pli*>> column_plis;
+    for (const Node& node : level) {
+      column_plis.emplace_back(node.set.First(), node.pli.get());
+    }
+    SampleEvidence(sampling, column_plis, &*evidence);
   }
 
   while (!level.empty()) {
@@ -151,7 +170,15 @@ FdDiscoveryResult Fun::Discover(const Relation& relation, PliImpl impl) {
     // cardinality is inferred from subsets.
     for (const Node& node : level) {
       const ColumnSet others = universe.Difference(node.set);
+      // One batched probe refutes every evidence-covered right-hand side
+      // of this node at once; refuted candidates are definite non-FDs
+      // (the Lemma-1 comparison would fail), so skipping them changes no
+      // output. Their cardinality memo entries are simply computed later,
+      // on demand, if a superset's inference needs them.
+      ColumnSet refuted;
+      if (evidence) refuted = evidence->RefutedRhs(node.set);
       for (int a = others.First(); a >= 0; a = others.NextAtLeast(a + 1)) {
+        if (refuted.Contains(a)) continue;
         ++result.fd_checks;
         if (InferCardinality(node.set.With(a), &cards) == node.cardinality) {
           candidate_fds.push_back(Fd{node.set, a});
@@ -176,6 +203,13 @@ FdDiscoveryResult Fun::Discover(const Relation& relation, PliImpl impl) {
     }
   }
 
+  if (evidence) {
+    const EvidenceStore::Stats stats = evidence->GetStats();
+    result.sampling_pairs = stats.pairs;
+    result.sampling_refuted = stats.refuted;
+    result.sampling_fed_back = stats.fed_back;
+    result.sampling_probe_ns = stats.probe_ns;
+  }
   Canonicalize(&result.fds);
   Canonicalize(&result.uccs);
   return result;

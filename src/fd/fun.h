@@ -1,6 +1,7 @@
 #ifndef MUDS_FD_FUN_H_
 #define MUDS_FD_FUN_H_
 
+#include "core/sampling.h"
 #include "data/relation.h"
 #include "fd/fd_util.h"
 #include "pli/position_list_index.h"
@@ -27,9 +28,15 @@ namespace muds {
 class Fun {
  public:
   /// `impl` selects the PLI representation (the discovered sets are
-  /// identical for every choice).
-  static FdDiscoveryResult Discover(const Relation& relation,
-                                    PliImpl impl = PliImpl::kAuto);
+  /// identical for every choice). With `sampling` enabled, a private
+  /// evidence store built over the level-1 PLIs refutes Lemma-1 candidates
+  /// before the cardinality comparison; refutation-only, so the discovered
+  /// sets are identical at every sampling level. (No feedback loop here:
+  /// FUN's per-candidate check is a memoized O(1) comparison, so
+  /// extracting a violating pair would cost more than it saves.)
+  static FdDiscoveryResult Discover(
+      const Relation& relation, PliImpl impl = PliImpl::kAuto,
+      const SamplingConfig& sampling = SamplingConfig());
 };
 
 }  // namespace muds

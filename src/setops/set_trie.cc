@@ -83,6 +83,48 @@ bool SetTrie::ContainsSubsetOf(const ColumnSet& set) const {
   return SubsetQuery(root_.get(), set, 0);
 }
 
+bool SetTrie::SubsetWithQuery(const Node* node, const ColumnSet& allowed,
+                              int required, bool have, int from) {
+  if (node->terminal && have) return true;
+  for (const auto& [column, child] : node->children) {
+    if (column < from) continue;
+    // Children (and their descendants) are strictly ascending: once the
+    // walk passes `required` without having used it, no terminal below can
+    // contain it.
+    if (!have && column > required) break;
+    if (!allowed.Contains(column)) continue;
+    if (SubsetWithQuery(child.get(), allowed, required,
+                        have || column == required, column + 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SetTrie::ContainsSubsetOfWith(const ColumnSet& allowed,
+                                   int required) const {
+  if (!allowed.Contains(required)) return false;
+  return SubsetWithQuery(root_.get(), allowed, required, false, 0);
+}
+
+void SetTrie::UnionSubsetsQuery(const Node* node, const ColumnSet& allowed,
+                                int from, ColumnSet* prefix, ColumnSet* out) {
+  if (node->terminal) *out = out->Union(*prefix);
+  for (const auto& [column, child] : node->children) {
+    if (column < from || !allowed.Contains(column)) continue;
+    prefix->Add(column);
+    UnionSubsetsQuery(child.get(), allowed, column + 1, prefix, out);
+    prefix->Remove(column);
+  }
+}
+
+ColumnSet SetTrie::UnionOfSubsetsOf(const ColumnSet& allowed) const {
+  ColumnSet out;
+  ColumnSet prefix;
+  UnionSubsetsQuery(root_.get(), allowed, 0, &prefix, &out);
+  return out;
+}
+
 struct SetTrie::SubsetEachState {
   const ColumnSet* base;
   // Maps a column index to its position in `extras`, or -1.

@@ -51,6 +51,19 @@ class SetTrie {
   void ContainsSubsetOfEach(const ColumnSet& base, std::span<const int> extras,
                             std::vector<uint8_t>* out) const;
 
+  /// True if some stored set is a subset of `allowed` AND contains
+  /// `required`. The evidence-store FD probe: with the stored sets being
+  /// disagreement sets and `allowed` the complement of a left-hand side,
+  /// this asks "does some recorded pair agree on the whole LHS while
+  /// disagreeing on `required`?" in one traversal.
+  bool ContainsSubsetOfWith(const ColumnSet& allowed, int required) const;
+
+  /// Union of all stored sets that are subsets of (or equal to) `allowed`.
+  /// One DFS answers the evidence store's batched probe: every column in
+  /// the result is refutable as a right-hand side for the complement of
+  /// `allowed`.
+  ColumnSet UnionOfSubsetsOf(const ColumnSet& allowed) const;
+
   /// True if some stored set is a superset of (or equal to) `set`.
   bool ContainsSupersetOf(const ColumnSet& set) const;
 
@@ -88,6 +101,10 @@ class SetTrie {
   };
 
   static bool SubsetQuery(const Node* node, const ColumnSet& set, int from);
+  static bool SubsetWithQuery(const Node* node, const ColumnSet& allowed,
+                              int required, bool have, int from);
+  static void UnionSubsetsQuery(const Node* node, const ColumnSet& allowed,
+                                int from, ColumnSet* prefix, ColumnSet* out);
   struct SubsetEachState;
   static void SubsetEachQuery(const Node* node, int from, int used_extra,
                               SubsetEachState* state);

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "core/evidence.h"
 #include "data/metadata.h"
 #include "setops/antichain.h"
 
@@ -9,7 +10,7 @@ namespace muds {
 
 std::vector<ColumnSet> Ducc::Discover(const Relation& relation,
                                       PliCache* cache, const Options& options,
-                                      Stats* stats) {
+                                      Stats* stats, EvidenceStore* evidence) {
   MUDS_CHECK(cache != nullptr);
   if (relation.NumRows() <= 1) {
     // Every projection (including the empty one) is duplicate-free.
@@ -20,8 +21,20 @@ std::vector<ColumnSet> Ducc::Discover(const Relation& relation,
   traversal_options.seed = options.seed;
   LatticeTraversal traversal(
       relation.ActiveColumns(),
-      [cache](const ColumnSet& candidate) {
-        return cache->Get(candidate)->IsUnique();
+      [cache, evidence](const ColumnSet& candidate) {
+        // Sampling-first: a recorded pair agreeing on all of `candidate`
+        // is a definite duplicate — refute without touching a PLI.
+        if (evidence != nullptr && evidence->RefutesUcc(candidate)) {
+          return false;
+        }
+        const std::shared_ptr<const Pli> pli = cache->Get(candidate);
+        const bool unique = pli->IsUnique();
+        // Adaptive growth: a violation the sampler missed refutes the
+        // sibling candidates above this one for free.
+        if (!unique && evidence != nullptr) {
+          evidence->FeedBackUccViolation(*pli);
+        }
+        return unique;
       },
       traversal_options);
   std::vector<ColumnSet> uccs = traversal.Run();

@@ -11,6 +11,8 @@
 
 namespace muds {
 
+class EvidenceStore;
+
 /// DUCC (§2.2): discovery of all minimal unique column combinations via a
 /// random-walk traversal of the attribute lattice with bidirectional
 /// pruning and hole filling.
@@ -36,10 +38,16 @@ class Ducc {
 
   /// Discovers all minimal UCCs of `relation`, using (and filling) `cache`.
   /// If `stats` is non-null, traversal counters are written there.
+  /// With a non-null `evidence` store, each candidate is probed against the
+  /// recorded violating pairs first — a probe hit refutes it with zero PLI
+  /// work, and a full check that fails anyway feeds its duplicate pair back
+  /// into the store. Refutation-only: the discovered UCC set is identical
+  /// with or without evidence.
   static std::vector<ColumnSet> Discover(const Relation& relation,
                                          PliCache* cache,
                                          const Options& options = Options(),
-                                         Stats* stats = nullptr);
+                                         Stats* stats = nullptr,
+                                         EvidenceStore* evidence = nullptr);
 };
 
 /// Exhaustive reference implementation (level-wise over all candidate sets,

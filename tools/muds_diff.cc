@@ -8,7 +8,10 @@
 // configuration matrix — plus a PLI-implementation axis
 // {csr,bitmap} x {native,forced-scalar SIMD} x {threads: 1,8} — and a
 // spill axis (tiny PLI budget + disk spill tier + external sort-merge
-// SPIDER) — and diffs
+// SPIDER) — and a sampling axis ({1K,64K} sampled pairs x {threads: 1,8}
+// x {default, tiny budget + spill}, asserting the refutation-only
+// invariant: result sets are bit-identical at every --sample-pairs
+// setting) — and diffs
 // all result sets against the oracle. Every
 // engine run goes through the CSV surface (CsvWriter -> engine CSV entry
 // point), so the ingest engines are part of the contract under test.
@@ -87,6 +90,7 @@ struct EngineConfig {
   PliImpl impl = PliImpl::kAuto;
   bool force_scalar_simd = false;
   bool spill = false;
+  int64_t sample_pairs = 0;  // 0 = sampling disabled
 
   std::string Label() const {
     std::string out = "threads=" + std::to_string(threads);
@@ -98,6 +102,9 @@ struct EngineConfig {
     }
     if (force_scalar_simd) out += " simd=scalar";
     if (spill) out += " spill=on";
+    if (sample_pairs != 0) {
+      out += " sample-pairs=" + std::to_string(sample_pairs);
+    }
     return out;
   }
 };
@@ -137,6 +144,22 @@ std::vector<EngineConfig> ConfigMatrix() {
       config.impl = impl;
       config.spill = true;
       configs.push_back(config);
+    }
+  }
+  // Sampling axis: evidence-store pre-validation at a small and a large
+  // pair budget, sequential and parallel, with and without memory pressure
+  // (tiny budget + spill). Sampling is refutation-only, so every one of
+  // these runs must produce exactly the oracle's result sets.
+  for (int64_t pairs : {int64_t{1024}, int64_t{65536}}) {
+    for (int threads : {1, 8}) {
+      EngineConfig config;
+      config.threads = threads;
+      config.sample_pairs = pairs;
+      configs.push_back(config);
+      EngineConfig tiny_spill = config;
+      tiny_spill.pli_budget_bytes = kTinyBudgetBytes;
+      tiny_spill.spill = true;
+      configs.push_back(tiny_spill);
     }
   }
   return configs;
@@ -206,6 +229,8 @@ EngineAnswer RunEngine(Engine engine, const std::string& csv_text,
   if (config.spill) {
     options.spill.dir = std::filesystem::temp_directory_path().string();
   }
+  options.sampling.pairs = config.sample_pairs;
+  options.sampling.seed = seed;
   options.csv = csv;
   Result<ProfilingResult> result = ProfileCsvString(csv_text, options);
   if (!result.ok()) {
@@ -374,11 +399,12 @@ int RunSeed(int seed, const CliOptions& cli,
                             Engine::kBaseline, Engine::kTane};
   for (Engine engine : engines) {
     for (const EngineConfig& config : configs) {
-      // TANE has no thread/budget/impl knobs; run it once per io mode.
+      // TANE has no thread/budget/impl/sampling knobs; run it once per io
+      // mode.
       if (engine == Engine::kTane &&
           (config.threads != 1 || config.pli_budget_bytes != 0 ||
            config.impl != PliImpl::kAuto || config.force_scalar_simd ||
-           config.spill)) {
+           config.spill || config.sample_pairs != 0)) {
         continue;
       }
       const EngineAnswer answer = RunEngine(
@@ -409,6 +435,14 @@ std::vector<EngineConfig> AppendConfigMatrix() {
     tiny_spill.pli_budget_bytes = kTinyBudgetBytes;
     tiny_spill.spill = true;
     configs.push_back(tiny_spill);
+    // Sampled maintenance: the evidence store persists across batches and
+    // must stay invisible in the maintained sets.
+    EngineConfig sampled = unlimited;
+    sampled.sample_pairs = 1024;
+    configs.push_back(sampled);
+    EngineConfig sampled_spill = tiny_spill;
+    sampled_spill.sample_pairs = 1024;
+    configs.push_back(sampled_spill);
   }
   return configs;
 }
@@ -474,6 +508,8 @@ int RunAppendSeed(int seed, const CliOptions& cli,
     if (config.spill) {
       options.spill.dir = std::filesystem::temp_directory_path().string();
     }
+    options.sampling.pairs = config.sample_pairs;
+    options.sampling.seed = static_cast<uint64_t>(seed) + 17;
     options.csv = csv;
 
     const std::string base_csv =

@@ -50,6 +50,17 @@
 //                                         (0 = unbounded, default 0); when
 //                                         a file is full the engine falls
 //                                         back to drop-and-rebuild
+//   --sample-pairs=N                      sampling-first pre-validation:
+//                                         sample N row pairs from the
+//                                         single-column PLIs into an
+//                                         evidence store and refute
+//                                         UCC/FD candidates against it
+//                                         before any PLI work (0 =
+//                                         disabled, the default); results
+//                                         are identical for every N
+//   --sample-seed=N                       seed for the pair sampler
+//                                         (default 1); results are
+//                                         identical for every seed
 //   --json                                machine-readable JSON output
 //   --output=FILE                         write the report to FILE instead
 //                                         of stdout
@@ -66,6 +77,7 @@
 // Exit status: 0 on success, 1 on usage errors, 2 on I/O or parse errors.
 
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -108,9 +120,46 @@ void PrintUsage(FILE* out) {
       "                    [--io=buffered|stream] [--threads=N]\n"
       "                    [--pli-budget-mb=N] [--pli-impl=auto|csr|bitmap]\n"
       "                    [--spill-dir=DIR] [--spill-budget-mb=N]\n"
+      "                    [--sample-pairs=N] [--sample-seed=N]\n"
       "                    [--json]\n"
       "                    [--output=FILE] [--quiet] [--metrics]\n"
       "                    [--trace=FILE] [--stats] [--soft-fds[=T]]\n");
+}
+
+// Strict numeric parsing, shared by every numeric flag: the whole value
+// must be one base-10 number — no trailing garbage, no empty string, no
+// overflow (ERANGE), and no sign for the unsigned variants.
+bool ParseNonNegativeLl(const char* text, long long* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || value < 0) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseUint64Strict(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  // strtoull silently negates "-1"; reject any sign explicitly.
+  if (end == text || *end != '\0' || errno == ERANGE || text[0] == '-' ||
+      text[0] == '+') {
+    return false;
+  }
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+bool ParseDoubleStrict(const char* text, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE) return false;
+  *out = value;
+  return true;
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -142,9 +191,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (arg == "--no-header") {
       options->profile.csv.has_header = false;
     } else if (arg.rfind("--max-rows=", 0) == 0) {
-      char* end = nullptr;
-      const long long max_rows = std::strtoll(arg.c_str() + 11, &end, 10);
-      if (end == arg.c_str() + 11 || *end != '\0' || max_rows < 0) {
+      long long max_rows = 0;
+      if (!ParseNonNegativeLl(arg.c_str() + 11, &max_rows)) {
         std::fprintf(stderr, "--max-rows expects a non-negative count\n");
         return false;
       }
@@ -171,27 +219,22 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
         return false;
       }
     } else if (arg.rfind("--seed=", 0) == 0) {
-      char* end = nullptr;
-      errno = 0;
-      const unsigned long long seed = std::strtoull(arg.c_str() + 7, &end, 10);
-      if (end == arg.c_str() + 7 || *end != '\0' || errno == ERANGE ||
-          arg[7] == '-') {
+      if (!ParseUint64Strict(arg.c_str() + 7, &options->profile.seed)) {
         std::fprintf(stderr, "--seed expects a non-negative integer\n");
         return false;
       }
-      options->profile.seed = static_cast<uint64_t>(seed);
     } else if (arg.rfind("--threads=", 0) == 0) {
-      char* end = nullptr;
-      const long threads = std::strtol(arg.c_str() + 10, &end, 10);
-      if (end == arg.c_str() + 10 || *end != '\0' || threads < 0) {
+      long long threads = 0;
+      if (!ParseNonNegativeLl(arg.c_str() + 10, &threads) ||
+          threads > INT32_MAX) {
         std::fprintf(stderr, "--threads expects a non-negative count\n");
         return false;
       }
       options->profile.num_threads = static_cast<int>(threads);
     } else if (arg.rfind("--pli-budget-mb=", 0) == 0) {
-      char* end = nullptr;
-      const long mb = std::strtol(arg.c_str() + 16, &end, 10);
-      if (end == arg.c_str() + 16 || *end != '\0' || mb < 0) {
+      long long mb = 0;
+      if (!ParseNonNegativeLl(arg.c_str() + 16, &mb) ||
+          mb > (1LL << 40)) {
         std::fprintf(stderr,
                      "--pli-budget-mb expects a non-negative MiB count\n");
         return false;
@@ -205,15 +248,29 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
         return false;
       }
     } else if (arg.rfind("--spill-budget-mb=", 0) == 0) {
-      char* end = nullptr;
-      const long mb = std::strtol(arg.c_str() + 18, &end, 10);
-      if (end == arg.c_str() + 18 || *end != '\0' || mb < 0) {
+      long long mb = 0;
+      if (!ParseNonNegativeLl(arg.c_str() + 18, &mb) ||
+          mb > (1LL << 40)) {
         std::fprintf(stderr,
                      "--spill-budget-mb expects a non-negative MiB count\n");
         return false;
       }
       options->profile.spill.budget_bytes =
           static_cast<size_t>(mb) << 20;  // 0 = unbounded.
+    } else if (arg.rfind("--sample-pairs=", 0) == 0) {
+      long long pairs = 0;
+      if (!ParseNonNegativeLl(arg.c_str() + 15, &pairs)) {
+        std::fprintf(stderr,
+                     "--sample-pairs expects a non-negative count\n");
+        return false;
+      }
+      options->profile.sampling.pairs = pairs;
+    } else if (arg.rfind("--sample-seed=", 0) == 0) {
+      if (!ParseUint64Strict(arg.c_str() + 14,
+                             &options->profile.sampling.seed)) {
+        std::fprintf(stderr, "--sample-seed expects a non-negative integer\n");
+        return false;
+      }
     } else if (arg.rfind("--pli-impl=", 0) == 0) {
       const std::string name = arg.substr(11);
       if (!ParsePliImpl(name, &options->profile.pli_impl)) {
@@ -244,7 +301,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->soft_fds = true;
     } else if (arg.rfind("--soft-fds=", 0) == 0) {
       options->soft_fds = true;
-      options->soft_fd_strength = std::atof(arg.c_str() + 11);
+      if (!ParseDoubleStrict(arg.c_str() + 11,
+                             &options->soft_fd_strength) ||
+          !(options->soft_fd_strength >= 0.0 &&
+            options->soft_fd_strength <= 1.0)) {
+        std::fprintf(stderr, "--soft-fds expects a threshold in [0, 1]\n");
+        return false;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
