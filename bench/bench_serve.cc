@@ -1,0 +1,176 @@
+// Serving layer throughput: the priority JobScheduler dispatching
+// profiling jobs onto the engine ThreadPool, with and without the
+// content-hash ResultCatalog in front.
+//
+// Two measured passes over the same J-job workload:
+//   cold  — J submissions with J distinct CSV payloads: every job misses
+//           the catalog and profiles from scratch.
+//   hot   — J submissions of one payload that is already published:
+//           every job is answered by a catalog hit (hash + lookup), no
+//           profiling at all.
+//
+// The ratio is what a repeat-heavy serving workload gains from the
+// catalog; the perf gate (bench/baselines/BENCH_serve.floors.json)
+// enforces `catalog_speedup_x100` and that the hot pass really was served
+// from the catalog (`catalog_hits` = J). Runs in-process — scheduler +
+// catalog are exercised exactly as muds_serve wires them, minus sockets —
+// so the numbers are deterministic and CI-friendly.
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/profiler.h"
+#include "core/report.h"
+#include "data/csv.h"
+#include "serve/catalog.h"
+#include "serve/job_scheduler.h"
+#include "workload/generators.h"
+
+namespace muds {
+namespace {
+
+/// One scheduler pass: submit every payload as a job that consults the
+/// catalog before profiling (the server's RunProfileJob shape), then
+/// drain. Returns wall milliseconds.
+double RunPass(ThreadPool* pool, serve::ResultCatalog* catalog,
+               const std::vector<std::string>& payloads,
+               const ProfileOptions& options) {
+  serve::JobScheduler::Options scheduler_options;
+  scheduler_options.max_queued = payloads.size();
+  serve::JobScheduler scheduler(pool, scheduler_options);
+  Timer timer;
+  for (const std::string& payload : payloads) {
+    serve::JobConfig config;
+    const Result<serve::JobId> id = scheduler.Submit(
+        [catalog, &payload, &options](serve::JobContext& context) {
+          if (Status alive = context.CheckAlive(); !alive.ok()) return alive;
+          const std::string key =
+              serve::ResultCatalog::KeyFor(payload, {}, options);
+          if (catalog->FindOrBegin(key) != nullptr) return Status::Ok();
+          Result<ProfilingResult> profiled =
+              ProfileCsvString(payload, options);
+          if (!profiled.ok()) {
+            catalog->Abort(key);
+            return profiled.status();
+          }
+          auto value = std::make_shared<serve::ResultCatalog::Value>();
+          value->result = std::move(profiled).value();
+          value->json = ProfilingResultToJson(value->result);
+          catalog->Publish(key, value);
+          return Status::Ok();
+        },
+        config);
+    if (!id.ok()) {
+      std::fprintf(stderr, "FAIL: submit rejected: %s\n",
+                   id.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  scheduler.Drain();
+  return static_cast<double>(timer.ElapsedMicros()) / 1e3;
+}
+
+int Run(int argc, char** argv) {
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  const int64_t rows = args.full ? 40'000 : 8'000;
+  const int cols = 8;
+  const int jobs = args.full ? 64 : 24;
+  const int threads = args.threads > 0 ? args.threads : 4;
+
+  // Distinct payloads for the cold pass: same shape, one varying cell per
+  // payload (a different generator seed), so every content hash differs.
+  std::vector<int64_t> cards(static_cast<size_t>(cols), 16);
+  std::vector<std::string> cold_payloads;
+  cold_payloads.reserve(static_cast<size_t>(jobs));
+  for (int i = 0; i < jobs; ++i) {
+    const Relation relation = MakeCategorical(
+        rows, cards, args.seed + static_cast<uint64_t>(i), "serve_workload");
+    cold_payloads.push_back(CsvWriter::ToString(relation));
+  }
+  const std::vector<std::string> hot_payloads(
+      static_cast<size_t>(jobs), cold_payloads.front());
+  std::printf("input: %d jobs x (%lld rows x %d columns), %d threads\n",
+              jobs, static_cast<long long>(rows), cols, threads);
+  bench::PrintRule();
+
+  ProfileOptions options;
+  options.algorithm = Algorithm::kMuds;
+  options.seed = args.seed;
+  options.num_threads = 1;  // Per-job, like the server: jobs parallelize
+                            // across the pool, not inside themselves.
+
+  ThreadPool pool(threads);
+  serve::ResultCatalog catalog(static_cast<size_t>(jobs) + 1);
+
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  const double cold_ms = RunPass(&pool, &catalog, cold_payloads, options);
+  const MetricsSnapshot after_cold = MetricsRegistry::Global().Snapshot();
+  // Hot pass: cold_payloads.front() is published, so all J jobs hit.
+  const double hot_ms = RunPass(&pool, &catalog, hot_payloads, options);
+  const MetricsSnapshot after_hot = MetricsRegistry::Global().Snapshot();
+
+  auto delta_counter = [](const MetricsSnapshot& from,
+                          const MetricsSnapshot& to, const char* name) {
+    for (const auto& [metric, value] :
+         MetricsRegistry::Delta(from, to)) {
+      if (metric == name) return value;
+    }
+    return static_cast<int64_t>(0);
+  };
+  const int64_t cold_misses =
+      delta_counter(before, after_cold, "serve.catalog_misses");
+  const int64_t hot_hits =
+      delta_counter(after_cold, after_hot, "serve.catalog_hits");
+  const int64_t completed =
+      delta_counter(before, after_hot, "serve.jobs_completed");
+  if (cold_misses != jobs || hot_hits != jobs || completed != 2 * jobs) {
+    std::fprintf(stderr,
+                 "FAIL: expected %d cold misses / %d hot hits / %d "
+                 "completed, got %lld / %lld / %lld\n",
+                 jobs, jobs, 2 * jobs, static_cast<long long>(cold_misses),
+                 static_cast<long long>(hot_hits),
+                 static_cast<long long>(completed));
+    return 1;
+  }
+
+  const double speedup = cold_ms / hot_ms;
+  const double cold_throughput = jobs / (cold_ms / 1e3);
+  const double hot_throughput = jobs / (hot_ms / 1e3);
+  std::printf("%-24s %9.1f ms  (%8.1f jobs/s, %lld misses)\n", "cold",
+              cold_ms, cold_throughput, static_cast<long long>(cold_misses));
+  std::printf("%-24s %9.1f ms  (%8.1f jobs/s, %lld hits)\n", "catalog-hit",
+              hot_ms, hot_throughput, static_cast<long long>(hot_hits));
+  std::printf("catalog speedup: %.1fx\n", speedup);
+
+  bench::JsonResultWriter writer("serve");
+  writer.Add("serve/cold", cold_ms, threads,
+             {{"jobs", jobs},
+              {"rows", rows},
+              {"cols", cols},
+              {"catalog_misses", cold_misses}},
+             MetricsRegistry::Delta(before, after_cold));
+  writer.Add("serve/catalog-hit", hot_ms, threads,
+             {{"jobs", jobs},
+              {"rows", rows},
+              {"cols", cols},
+              {"catalog_hits", hot_hits},
+              {"catalog_speedup_x100",
+               static_cast<int64_t>(speedup * 100.0)}},
+             MetricsRegistry::Delta(after_cold, after_hot));
+  writer.Write();
+  bench::PrintRule();
+  std::printf("catalog hits served without re-profiling\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace muds
+
+int main(int argc, char** argv) { return muds::Run(argc, argv); }

@@ -1,0 +1,48 @@
+#ifndef MUDS_COMMON_HASH_H_
+#define MUDS_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace muds {
+
+/// 64-bit string hash over 8-byte chunks (multiply-xor mixing, wyhash-lite
+/// constants). Originally the ingest interning hash; shared here so the
+/// serving layer's content-addressed result catalog and any other
+/// fingerprinting user mix bytes the same way. Callers that need a wider
+/// fingerprint hash twice with different seeds — the two streams are
+/// decorrelated by the seed entering the initial state.
+inline uint64_t HashBytes(const char* data, size_t n,
+                          uint64_t seed = 0x9E3779B97F4A7C15ull) {
+  uint64_t h = seed ^ (n * 0xA0761D6478BD642Full);
+  while (n >= 8) {
+    uint64_t k;
+    std::memcpy(&k, data, 8);
+    k *= 0x9DDFEA08EB382D69ull;
+    k ^= k >> 32;
+    h = (h ^ k) * 0xC2B2AE3D27D4EB4Full;
+    data += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    uint64_t k = 0;
+    std::memcpy(&k, data, n);
+    k *= 0x9DDFEA08EB382D69ull;
+    k ^= k >> 32;
+    h = (h ^ k) * 0xC2B2AE3D27D4EB4Full;
+  }
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 32;
+  return h;
+}
+
+inline uint64_t HashBytes(std::string_view bytes,
+                          uint64_t seed = 0x9E3779B97F4A7C15ull) {
+  return HashBytes(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace muds
+
+#endif  // MUDS_COMMON_HASH_H_

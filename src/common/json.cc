@@ -214,6 +214,66 @@ class Parser {
 
 Result<Value> Parse(std::string_view text) { return Parser(text).Parse(); }
 
+namespace {
+
+void DumpTo(const Value& value, std::string* out) {
+  switch (value.type) {
+    case Value::Type::kNull:
+      *out += "null";
+      break;
+    case Value::Type::kBool:
+      *out += value.boolean ? "true" : "false";
+      break;
+    case Value::Type::kNumber: {
+      char buf[32];
+      const int64_t integral = static_cast<int64_t>(value.number);
+      if (static_cast<double>(integral) == value.number) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(integral));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", value.number);
+      }
+      *out += buf;
+      break;
+    }
+    case Value::Type::kString:
+      *out += Quote(value.string);
+      break;
+    case Value::Type::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const Value& element : value.array) {
+        if (!first) *out += ',';
+        first = false;
+        DumpTo(element, out);
+      }
+      *out += ']';
+      break;
+    }
+    case Value::Type::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [key, member] : value.object) {
+        if (!first) *out += ',';
+        first = false;
+        *out += Quote(key);
+        *out += ':';
+        DumpTo(member, out);
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Dump(const Value& value) {
+  std::string out;
+  DumpTo(value, &out);
+  return out;
+}
+
 std::string Quote(const std::string& value) {
   std::string out = "\"";
   for (char c : value) {

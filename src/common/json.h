@@ -48,6 +48,12 @@ Result<Value> Parse(std::string_view text);
 /// Escapes `value` for embedding in JSON, surrounding quotes included.
 std::string Quote(const std::string& value);
 
+/// Serializes a Value back to compact JSON (no insignificant whitespace).
+/// Numbers that are integral round-trip as integers; object members are
+/// emitted in map order (sorted by key), so the output is deterministic.
+/// The serving layer builds its response frames through this.
+std::string Dump(const Value& value);
+
 }  // namespace json
 }  // namespace muds
 

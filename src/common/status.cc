@@ -16,6 +16,12 @@ const char* StatusCodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kOutOfRange:
       return "OutOfRange";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -17,6 +17,14 @@ enum class StatusCode {
   kIoError,
   kParseError,
   kOutOfRange,
+  /// The operation could not be accepted right now (e.g. a draining server
+  /// rejecting new jobs). Distinct from kOutOfRange (a full queue) so
+  /// clients can tell "retry later elsewhere" from "back off".
+  kUnavailable,
+  /// The operation was cancelled by an explicit request.
+  kCancelled,
+  /// The operation ran past its deadline.
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a StatusCode (e.g. "IoError").
@@ -47,6 +55,15 @@ class Status {
   }
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

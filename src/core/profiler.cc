@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/holistic_fun.h"
+#include "core/incremental.h"
 #include "data/preprocess.h"
 #include "pli/pli_cache.h"
 #include "ucc/ducc.h"
@@ -246,6 +247,52 @@ Result<ProfilingResult> ProfileCsvFile(const std::string& path,
   result.metrics = MetricsRegistry::Delta(
       before, MetricsRegistry::Global().Snapshot());
   return result;
+}
+
+Result<ProfilingResult> ProfileCsvStringWithAppends(
+    std::string_view base, const std::vector<std::string>& appends,
+    const ProfileOptions& options) {
+  if (appends.empty()) return ProfileCsvString(base, options);
+  if (options.csv.nulls == NullSemantics::kNullUnequal) {
+    // kNullUnequal rewrites each NULL into a per-file unique sentinel, so
+    // parsing batches separately cannot reproduce a from-scratch parse of
+    // the concatenated input — the incremental == from-scratch guarantee
+    // would not hold. Refuse instead of silently diverging.
+    return Status::InvalidArgument(
+        "append batches cannot be combined with NULL != NULL semantics");
+  }
+  const CsvOptions csv = CsvOptionsForLoad(options);
+  Result<Relation> parsed = CsvReader::ReadString(base, csv);
+  if (!parsed.ok()) return parsed.status();
+  IncrementalProfiler profiler(parsed.value(), options);
+  // Append blobs are headerless row batches in the base's dialect: the
+  // result is the from-scratch profile of the byte concatenation
+  // base + appends[0] + ... (what the serving catalog keys on).
+  CsvOptions batch_csv = csv;
+  batch_csv.has_header = false;
+  for (size_t i = 0; i < appends.size(); ++i) {
+    Result<Relation> batch = CsvReader::ReadString(
+        appends[i], batch_csv, "append" + std::to_string(i + 1));
+    if (!batch.ok()) return batch.status();
+    if (batch.value().NumColumns() != parsed.value().NumColumns()) {
+      return Status::InvalidArgument(
+          "append batch " + std::to_string(i + 1) + " has " +
+          std::to_string(batch.value().NumColumns()) + " columns, base has " +
+          std::to_string(parsed.value().NumColumns()));
+    }
+    // The headerless parse synthesized positional column names; restore
+    // the base schema so the incremental schema check sees one relation.
+    std::vector<Column> columns;
+    columns.reserve(static_cast<size_t>(batch.value().NumColumns()));
+    for (int c = 0; c < batch.value().NumColumns(); ++c) {
+      columns.push_back(batch.value().GetColumn(c));
+    }
+    Relation renamed(batch.value().name(), parsed.value().ColumnNames(),
+                     std::move(columns), batch.value().NumRows());
+    const Status appended = profiler.Append(renamed);
+    if (!appended.ok()) return appended;
+  }
+  return profiler.Result();
 }
 
 }  // namespace muds

@@ -146,6 +146,19 @@ Result<ProfilingResult> ProfileCsvString(std::string_view text,
 Result<ProfilingResult> ProfileCsvFile(const std::string& path,
                                        const ProfileOptions& options = {});
 
+/// Profiles `base` and then applies each element of `appends` — headerless
+/// row batches in the base's dialect — as delta batches through
+/// IncrementalProfiler instead of re-profiling the concatenation: the
+/// serving layer's append fast path. The result is bit-identical to a
+/// from-scratch profile of the byte concatenation base + appends[0] + ....
+/// Rejects NullSemantics::kNullUnequal when `appends` is non-empty (its
+/// per-file NULL sentinels would break that equivalence) and batches whose
+/// column count differs from the base.
+Result<ProfilingResult> ProfileCsvStringWithAppends(
+    std::string_view base, const std::vector<std::string>& appends,
+    const ProfileOptions& options = {});
+
+
 }  // namespace muds
 
 #endif  // MUDS_CORE_PROFILER_H_

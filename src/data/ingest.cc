@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/hash.h"
 #include "common/metrics.h"
 #include "common/simd.h"
 #include "common/thread_pool.h"
@@ -29,34 +30,6 @@ constexpr size_t kMinAutoChunkBytes = size_t{256} << 10;
 // Chunks per worker thread: a few more than one so record-density skew
 // between chunks balances out through the pool's dynamic claiming.
 constexpr int kChunksPerThread = 4;
-
-// 64-bit string hash over 8-byte chunks (multiply-xor mixing). Only used to
-// distribute keys across the interning table — codes are assigned in
-// first-seen order and the merge sort assigns the final ranks, so the
-// encoded relation does not depend on this function.
-uint64_t HashBytes(const char* data, size_t n) {
-  uint64_t h = 0x9E3779B97F4A7C15ull ^ (n * 0xA0761D6478BD642Full);
-  while (n >= 8) {
-    uint64_t k;
-    std::memcpy(&k, data, 8);
-    k *= 0x9DDFEA08EB382D69ull;
-    k ^= k >> 32;
-    h = (h ^ k) * 0xC2B2AE3D27D4EB4Full;
-    data += 8;
-    n -= 8;
-  }
-  if (n > 0) {
-    uint64_t k = 0;
-    std::memcpy(&k, data, n);
-    k *= 0x9DDFEA08EB382D69ull;
-    k ^= k >> 32;
-    h = (h ^ k) * 0xC2B2AE3D27D4EB4Full;
-  }
-  h ^= h >> 29;
-  h *= 0xBF58476D1CE4E5B9ull;
-  h ^= h >> 32;
-  return h;
-}
 
 // SwissTable-style flat interning table for the per-chunk dictionary
 // encode: one control byte (7 hash bits) per slot, probed 16 slots at a

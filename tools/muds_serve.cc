@@ -1,0 +1,192 @@
+// muds_serve: profiling-as-a-service daemon.
+//
+// Boots a serve::Server on 127.0.0.1 and blocks until it drains — either a
+// client sent the `shutdown` command or the process received SIGTERM /
+// SIGINT. Both paths drain running jobs, flush the serve.* metrics to the
+// log, and exit 0; new submissions are rejected with the Unavailable code
+// while the drain is in progress.
+//
+// Flags (strict-parsed like muds_profile: trailing garbage, bare signs,
+// and out-of-range values are usage errors, exit 1):
+//   --port=N            listen port (0 = ephemeral; default 0)
+//   --threads=N         engine worker threads (0 = hardware concurrency)
+//   --max-jobs=N        admission bound on queued jobs (default 64)
+//   --job-budget-mb=N   per-job PLI cache byte budget (0 = no cap)
+//   --catalog-entries=N result catalog capacity (default 256)
+//   --trace=FILE        write a Chrome-tracing JSON trace at shutdown
+//
+// On successful startup the daemon prints exactly one line to stdout:
+//   MUDS_SERVE_PORT=<port>
+// so a driver that started it with --port=0 can discover the bound port.
+
+#include <pthread.h>
+#include <signal.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "common/trace.h"
+#include "serve/server.h"
+
+namespace muds {
+namespace {
+
+struct CliOptions {
+  serve::Server::Options server;
+  std::string trace_path;
+};
+
+void PrintUsage(FILE* out) {
+  std::fprintf(
+      out,
+      "usage: muds_serve [--port=N] [--threads=N] [--max-jobs=N]\n"
+      "                  [--job-budget-mb=N] [--catalog-entries=N]\n"
+      "                  [--trace=FILE]\n");
+}
+
+// Strict numeric parsing (same contract as muds_profile): the whole value
+// must be one base-10 number — no trailing garbage, no empty string, no
+// overflow, no negative values.
+bool ParseNonNegativeLl(const char* text, long long* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || value < 0) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      std::exit(0);
+    } else if (arg.rfind("--port=", 0) == 0) {
+      long long port = 0;
+      if (!ParseNonNegativeLl(arg.c_str() + 7, &port) || port > 65535) {
+        std::fprintf(stderr, "--port expects an integer in [0, 65535]\n");
+        return false;
+      }
+      options->server.port = static_cast<int>(port);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      long long threads = 0;
+      if (!ParseNonNegativeLl(arg.c_str() + 10, &threads) ||
+          threads > 4096) {
+        std::fprintf(stderr, "--threads expects an integer in [0, 4096]\n");
+        return false;
+      }
+      options->server.num_threads = static_cast<int>(threads);
+    } else if (arg.rfind("--max-jobs=", 0) == 0) {
+      long long jobs = 0;
+      if (!ParseNonNegativeLl(arg.c_str() + 11, &jobs) || jobs == 0) {
+        std::fprintf(stderr, "--max-jobs expects a positive integer\n");
+        return false;
+      }
+      options->server.max_jobs = static_cast<size_t>(jobs);
+    } else if (arg.rfind("--job-budget-mb=", 0) == 0) {
+      long long mb = 0;
+      if (!ParseNonNegativeLl(arg.c_str() + 16, &mb) ||
+          mb > (1ll << 40) / (1ll << 20)) {
+        std::fprintf(stderr,
+                     "--job-budget-mb expects an integer in [0, 2^20]\n");
+        return false;
+      }
+      options->server.job_budget_bytes =
+          static_cast<size_t>(mb) * (1ull << 20);
+    } else if (arg.rfind("--catalog-entries=", 0) == 0) {
+      long long entries = 0;
+      if (!ParseNonNegativeLl(arg.c_str() + 18, &entries) || entries == 0) {
+        std::fprintf(stderr, "--catalog-entries expects a positive integer\n");
+        return false;
+      }
+      options->server.catalog_entries = static_cast<size_t>(entries);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      options->trace_path = arg.substr(8);
+      if (options->trace_path.empty()) {
+        std::fprintf(stderr, "--trace expects a file path\n");
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(const CliOptions& options) {
+  if (!options.trace_path.empty()) TraceCollector::Global().Start();
+
+  serve::Server server(options.server);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 2;
+  }
+  // The one machine-readable stdout line: lets a driver that asked for
+  // --port=0 discover the bound port.
+  std::printf("MUDS_SERVE_PORT=%d\n", server.port());
+  std::fflush(stdout);
+
+  // Signals are blocked process-wide (set in main before any thread
+  // exists); a dedicated watcher turns SIGTERM/SIGINT into a graceful
+  // Shutdown(). SIGUSR1 is the internal "server already drained via the
+  // protocol, watcher can retire" wake-up.
+  sigset_t watched;
+  sigemptyset(&watched);
+  sigaddset(&watched, SIGTERM);
+  sigaddset(&watched, SIGINT);
+  sigaddset(&watched, SIGUSR1);
+  std::thread watcher([&server, watched] {
+    int sig = 0;
+    sigwait(&watched, &sig);
+    if (sig == SIGTERM || sig == SIGINT) {
+      std::fprintf(stderr, "muds_serve: signal %d; draining\n", sig);
+      server.Shutdown();
+    }
+  });
+
+  server.Wait();
+  pthread_kill(watcher.native_handle(), SIGUSR1);
+  watcher.join();
+
+  if (!options.trace_path.empty()) {
+    TraceCollector& collector = TraceCollector::Global();
+    collector.Stop();
+    const Status written = collector.WriteChromeTrace(options.trace_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 2;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace muds
+
+int main(int argc, char** argv) {
+  muds::CliOptions options;
+  if (!muds::ParseArgs(argc, argv, &options)) {
+    muds::PrintUsage(stderr);
+    return 1;
+  }
+  // Block the shutdown signals before any thread is spawned so every
+  // thread inherits the mask and only the watcher's sigwait consumes them.
+  sigset_t blocked;
+  sigemptyset(&blocked);
+  sigaddset(&blocked, SIGTERM);
+  sigaddset(&blocked, SIGINT);
+  sigaddset(&blocked, SIGUSR1);
+  pthread_sigmask(SIG_BLOCK, &blocked, nullptr);
+  return muds::Run(options);
+}

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""CI driver for muds_serve.
+
+Drives a running daemon through the length-prefixed JSON protocol:
+concurrent submissions of the same CSV (duplicates must coalesce onto one
+computation and count as catalog hits), one cancelled job, a stats probe,
+and — with --shutdown — a graceful protocol drain.
+
+With --profile-json=FILE (the output of `muds_profile --json` over the
+same CSV) the semantic result fields (columns, duplicates_removed, inds,
+uccs, fds) must be identical between the one-shot CLI and every served
+result; counters/timings/metrics legitimately differ and are ignored.
+
+Exit 0 on success, 1 with a diagnostic on the first failed assertion.
+"""
+
+import argparse
+import json
+import socket
+import struct
+import sys
+import threading
+
+
+def rpc(sock, obj):
+    payload = json.dumps(obj).encode("utf-8")
+    sock.sendall(struct.pack(">I", len(payload)) + payload)
+    header = b""
+    while len(header) < 4:
+        chunk = sock.recv(4 - len(header))
+        if not chunk:
+            raise ConnectionError("connection closed while reading header")
+        header += chunk
+    (length,) = struct.unpack(">I", header)
+    body = b""
+    while len(body) < length:
+        chunk = sock.recv(length - len(body))
+        if not chunk:
+            raise ConnectionError("connection closed mid-frame")
+        body += chunk
+    return json.loads(body)
+
+
+def connect(port):
+    return socket.create_connection(("127.0.0.1", port), timeout=120)
+
+
+SEMANTIC_FIELDS = ("columns", "duplicates_removed", "inds", "uccs", "fds")
+
+
+def semantic(result):
+    return {field: result.get(field) for field in SEMANTIC_FIELDS}
+
+
+def fail(message):
+    print(f"serve_client: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--csv", required=True, help="CSV file to profile")
+    parser.add_argument("--profile-json",
+                        help="muds_profile --json output to compare against")
+    parser.add_argument("--clients", type=int, default=6,
+                        help="concurrent duplicate submissions")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="finish with a protocol shutdown + drain")
+    args = parser.parse_args()
+
+    with open(args.csv, "r", encoding="utf-8") as handle:
+        csv_text = handle.read()
+
+    expected = None
+    if args.profile_json:
+        with open(args.profile_json, "r", encoding="utf-8") as handle:
+            expected = semantic(json.load(handle))
+
+    # Phase 1: N concurrent clients all submit the identical CSV. Exactly
+    # one computes; the rest must be answered from the catalog (either a
+    # ready hit or a coalesced wait — both count as serve.catalog_hits).
+    results = [None] * args.clients
+    errors = []
+
+    def client(index):
+        try:
+            sock = connect(args.port)
+            try:
+                submitted = rpc(sock, {"cmd": "submit", "csv": csv_text,
+                                       "priority": index % 3})
+                if not submitted.get("ok"):
+                    raise AssertionError(f"submit rejected: {submitted}")
+                done = rpc(sock, {"cmd": "result", "job": submitted["job"],
+                                  "timeout_ms": 120000})
+                if not done.get("ok") or done.get("state") != "done":
+                    raise AssertionError(f"job failed: {done}")
+                results[index] = done
+            finally:
+                sock.close()
+        except Exception as error:  # noqa: BLE001 — collected and reported
+            errors.append(f"client {index}: {error}")
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(args.clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        fail("; ".join(errors))
+
+    for index, done in enumerate(results):
+        if expected is not None and semantic(done["result"]) != expected:
+            fail(f"client {index}: served result differs from "
+                 f"one-shot muds_profile --json")
+        if "queue_wait_ns" not in done:
+            fail(f"client {index}: response lacks queue_wait_ns")
+        if "serve" not in done:
+            fail(f"client {index}: response lacks serve counter deltas")
+    hits = [r for r in results if r.get("catalog_hit")]
+    if len(hits) != args.clients - 1:
+        fail(f"expected {args.clients - 1} catalog hits among duplicates, "
+             f"got {len(hits)}")
+
+    # Phase 2: one cancelled job. Submitted at the lowest priority behind a
+    # fresh (non-duplicate) workload, then cancelled; the terminal state
+    # must be cancelled unless it already finished (tiny-input race).
+    sock = connect(args.port)
+    # Distinct content (so no catalog hit) that still parses: the base CSV
+    # with its own data rows repeated.
+    data_rows = csv_text[csv_text.index("\n") + 1:]
+    victim_csv = csv_text + data_rows
+    victim = rpc(sock, {"cmd": "submit", "csv": victim_csv, "priority": -5})
+    if not victim.get("ok"):
+        fail(f"cancel-victim submit rejected: {victim}")
+    cancelled = rpc(sock, {"cmd": "cancel", "job": victim["job"]})
+    if not cancelled.get("ok"):
+        fail(f"cancel rpc failed: {cancelled}")
+    terminal = rpc(sock, {"cmd": "result", "job": victim["job"],
+                          "timeout_ms": 120000})
+    state = terminal.get("state")
+    if state not in ("cancelled", "done"):
+        fail(f"cancelled job ended in unexpected state: {terminal}")
+    print(f"serve_client: cancel -> {state}")
+
+    # Phase 3: server-side counters must reflect what phase 1 did.
+    stats = rpc(sock, {"cmd": "stats"})
+    if not stats.get("ok"):
+        fail(f"stats failed: {stats}")
+    catalog_hits = stats["serve"].get("serve.catalog_hits", 0)
+    if catalog_hits <= 0:
+        fail(f"serve.catalog_hits = {catalog_hits}, expected > 0")
+    submitted_count = stats["serve"].get("serve.jobs_submitted", 0)
+    if submitted_count < args.clients + 1:
+        fail(f"serve.jobs_submitted = {submitted_count}, expected >= "
+             f"{args.clients + 1}")
+    print(f"serve_client: stats ok "
+          f"(catalog_hits={catalog_hits}, submitted={submitted_count})")
+
+    if args.shutdown:
+        drained = rpc(sock, {"cmd": "shutdown"})
+        if not drained.get("ok"):
+            fail(f"shutdown failed: {drained}")
+        print(f"serve_client: shutdown ok "
+              f"(jobs_completed={drained.get('jobs_completed')})")
+    sock.close()
+    print("serve_client: PASS")
+
+
+if __name__ == "__main__":
+    main()
